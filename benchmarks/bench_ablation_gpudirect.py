@@ -1,0 +1,26 @@
+"""Ablation — GPUDirect what-if.
+
+The paper (§III-B.2): "As GPUDirect technology is not supported on TX1
+boards, communication must be handled by the CPU and then transferred to
+the GPU through main memory."  This ablation quantifies what a GPUDirect-
+capable SoC would buy on the halo-heaviest workload.
+"""
+
+from repro.bench import ablations as ab
+
+from benchmarks.conftest import emit
+
+
+def test_ablation_gpudirect(once):
+    results = once(ab.gpudirect_ablation)
+    rows = [f"{'nodes':>6}{'staged s':>10}{'GPUDirect s':>13}{'speedup':>9}"]
+    for r in results:
+        rows.append(f"{r.nodes:>6}{r.runtime_staged:>10.2f}"
+                    f"{r.runtime_gpudirect:>13.2f}{r.speedup:>9.3f}")
+    emit("Ablation: GPUDirect on tealeaf3d", "\n".join(rows))
+
+    by = {r.nodes: r for r in results}
+    # Host staging costs a few percent; the penalty grows with node count
+    # (halo share grows as compute shrinks).
+    assert all(r.speedup > 1.0 for r in results)
+    assert by[16].speedup > by[4].speedup

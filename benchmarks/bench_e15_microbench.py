@@ -1,0 +1,16 @@
+"""§III-A network microbenchmarks: iperf throughput and ping-pong latency."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_e15_network_microbench(once):
+    data = once(ex.network_microbench)
+    emit("SIII-A: network microbenchmarks", tables.format_microbench(data))
+
+    # Paper: 0.53 Gb/s -> 3.3 Gb/s iperf between two TX1 nodes.
+    assert abs(data["1G"]["iperf_gbit"] - 0.53) < 0.03
+    assert abs(data["10G"]["iperf_gbit"] - 3.3) < 0.1
+    # Ping-pong RTT roughly halves (0.1 ms -> 0.05 ms class).
+    assert data["10G"]["pingpong_ms"] < 0.7 * data["1G"]["pingpong_ms"]

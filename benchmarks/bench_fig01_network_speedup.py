@@ -1,0 +1,34 @@
+"""Fig. 1 — speedup from the 10 GbE NIC vs the standard 1 GbE.
+
+Regenerates the per-workload, per-cluster-size speedup bars for the whole
+suite (7 GPGPU-accelerated + 8 NPB CPU workloads).
+"""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_fig01_network_speedup(once):
+    cells = once(ex.network_comparison)
+    emit("Fig. 1: speedup 10GbE vs 1GbE", tables.format_network_comparison(cells))
+
+    by = {(c.workload, c.nodes): c for c in cells}
+    averages = ex.average_by_size(cells)
+
+    # Speedups grow with cluster size (inter-node communication grows).
+    avg_speedups = [averages[n][0] for n in sorted(averages)]
+    assert avg_speedups == sorted(avg_speedups)
+    # hpl and tealeaf3d show the largest speedups of the GPGPU set.
+    at16 = {w: by[(w, 16)].speedup for w, n in by if n == 16}
+    from repro.workloads import GPGPU_NAMES
+    gpu16 = {w: at16[w] for w in GPGPU_NAMES}
+    top2 = sorted(gpu16, key=gpu16.get, reverse=True)[:2]
+    assert set(top2) == {"hpl", "tealeaf3d"}
+    assert at16["tealeaf3d"] > 2.0
+    # The AI workloads barely communicate and gain little.
+    assert at16["alexnet"] < 1.3
+    assert at16["googlenet"] < 1.3
+    # ft and is are the network-bound NPB codes.
+    assert at16["ft"] > 1.2 and at16["is"] > 1.5
+    assert at16["bt"] < 1.05 and at16["ep"] < 1.05

@@ -1,0 +1,30 @@
+"""Fig. 2 — normalized energy with the 10 GbE NIC vs 1 GbE.
+
+Values below 1 mean the runtime gain paid back the +5 W/node card.
+"""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_fig02_network_energy(once):
+    cells = once(ex.network_comparison)
+    emit("Fig. 2: normalized energy 10GbE vs 1GbE",
+         tables.format_network_comparison(cells))
+
+    by16 = {c.workload: c for c in cells if c.nodes == 16}
+    averages = ex.average_by_size(cells)
+
+    # Network-bound workloads win energy outright despite the NIC power.
+    assert by16["hpl"].energy_ratio < 0.9
+    assert by16["tealeaf3d"].energy_ratio < 0.7
+    assert by16["is"].energy_ratio < 0.9
+    # Compute-bound codes pay for the card without a runtime gain.
+    assert 1.0 < by16["bt"].energy_ratio < 1.3
+    assert 1.0 < by16["ep"].energy_ratio < 1.3
+    # Paper: a ~5% average energy-efficiency improvement at 16 nodes.
+    assert averages[16][1] < 1.05
+    # Energy ratios improve (fall) as the cluster grows.
+    energies = [averages[n][1] for n in sorted(averages)]
+    assert energies == sorted(energies, reverse=True)

@@ -1,0 +1,29 @@
+"""Fig. 4 — the extended Roofline ceilings under 1 GbE and 10 GbE."""
+
+from repro.bench import experiments as ex
+from repro.core import render_roofline_ascii
+from repro.units import gflops
+
+from benchmarks.conftest import emit
+
+
+def test_fig04_roofline_models(once):
+    models = once(ex.roofline_models)
+    points = ex.roofline_points()
+    for network in ("1G", "10G"):
+        emit(
+            f"Fig. 4{'ab'['1G' == network]}: extended Roofline ({network})",
+            render_roofline_ascii(models[network], points[network]),
+        )
+
+    one, ten = models["1G"], models["10G"]
+    # The compute and memory roofs are NIC-independent...
+    assert one.peak_flops == ten.peak_flops
+    assert one.memory_bandwidth == ten.memory_bandwidth
+    # ...but the network roof rises with the faster NIC.
+    assert ten.network_bandwidth > one.network_bandwidth
+    # A network-hungry point gains attainable performance from the upgrade.
+    ni, oi = 19.0, 0.3
+    assert ten.attainable(oi, ni) > one.attainable(oi, ni)
+    # The TX1's DP peak: ~16 GFLOPS per node.
+    assert abs(ten.peak_flops - gflops(16.0)) < gflops(0.5)

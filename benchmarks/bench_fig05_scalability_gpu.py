@@ -1,0 +1,37 @@
+"""Fig. 5 — strong scaling of the GPGPU benchmarks with DIMEMAS-style
+ideal-network / ideal-load-balance scenarios and model extrapolation."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_fig05_gpgpu_scalability(once):
+    curves = once(ex.gpgpu_scalability)
+    emit("Fig. 5: GPGPU scalability", tables.format_scalability(curves))
+
+    by = {c.workload: c for c in curves}
+
+    # hpl and jacobi scale better than the tealeaf family: true of the
+    # measured 16-node speedups and of the extrapolated 256-node models.
+    strong16 = min(by["hpl"].measured_10g[-1], by["jacobi"].measured_10g[-1])
+    weak16 = max(by["tealeaf2d"].measured_10g[-1], by["tealeaf3d"].measured_10g[-1])
+    assert strong16 > weak16
+    for name in ("tealeaf2d", "tealeaf3d"):
+        assert by["jacobi"].extrapolate(256)["10G"] > by[name].extrapolate(256)["10G"]
+
+    # The fits are tight (paper: average r^2 ~0.98).
+    r2s = [c.fit_10g.r2 for c in curves] + [c.fit_1g.r2 for c in curves]
+    assert sum(r2s) / len(r2s) > 0.9
+
+    # Ideal network helps the network-bound codes the most at 16 nodes.
+    gain = {
+        name: by[name].ideal_network[-1] / by[name].measured_10g[-1]
+        for name in by
+    }
+    assert gain["tealeaf3d"] > 1.3
+    assert gain["tealeaf3d"] > gain["jacobi"]
+    # Every scenario bounds its measured curve from above.
+    for c in curves:
+        for ideal, measured in zip(c.ideal_network, c.measured_10g):
+            assert ideal >= measured * 0.99

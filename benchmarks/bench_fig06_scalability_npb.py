@@ -1,0 +1,31 @@
+"""Fig. 6 — strong scaling of the NPB suite (4 ranks per node)."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_fig06_npb_scalability(once):
+    curves = once(ex.npb_scalability)
+    emit("Fig. 6: NPB scalability", tables.format_scalability(curves))
+
+    by = {c.workload: c for c in curves}
+
+    # bt, ep, mg, sp scale well; cg, ft, is, lu poorly (at 1 GbE, the
+    # configuration the paper's bottleneck analysis dissects).
+    good = min(by[n].measured_1g[-1] for n in ("bt", "ep", "mg", "sp"))
+    bad = max(by[n].measured_1g[-1] for n in ("ft", "is", "lu"))
+    assert good > bad
+
+    # ft and is are the network-bound codes: the ideal network buys them
+    # far more than it buys the compute-bound ones (paper: ~3x).
+    for name in ("ft", "is"):
+        assert by[name].ideal_network[-1] / by[name].measured_1g[-1] > 1.5
+    for name in ("bt", "ep", "mg", "sp"):
+        assert by[name].ideal_network[-1] / by[name].measured_1g[-1] < 1.1
+
+    # cg and lu are the load-balance-bound codes: ideal LB buys them the
+    # most (paper: cg and lu improve most when load is balanced).
+    lb_gain = {n: by[n].ideal_load_balance[-1] / by[n].measured_10g[-1] for n in by}
+    top2 = sorted(lb_gain, key=lb_gain.get, reverse=True)[:2]
+    assert set(top2) == {"cg", "lu"}

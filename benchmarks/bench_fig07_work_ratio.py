@@ -1,0 +1,24 @@
+"""Fig. 7 — hpl energy efficiency vs the GPGPU/CPU work split."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_fig07_work_ratio(once):
+    study = once(ex.work_ratio_study)
+    emit("Fig. 7: normalized MFLOPS/W vs GPU work ratio",
+         tables.format_work_ratio(study))
+
+    for nodes, curve in study.items():
+        # Shifting work from the GPGPU to one CPU core costs efficiency:
+        # at a 50/50 split the cluster loses roughly half its MFLOPS/W.
+        assert curve[1.0] == 1.0
+        assert curve[0.5] < 0.65
+        # Mostly monotone decline (a <5% plateau near 1.0 is tolerated:
+        # a small CPU share can hide behind the GPU kernel).
+        ratios = sorted(curve, reverse=True)
+        values = [curve[r] for r in ratios]
+        for earlier, later in zip(values, values[1:]):
+            assert later < earlier * 1.05
+        assert values[-1] == min(values)

@@ -1,0 +1,30 @@
+"""Fig. 9 — TX1 cluster sizes vs two discrete GTX 980 hosts."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_fig09_discrete_gpu(once):
+    rows = once(ex.discrete_gpu_comparison)
+    emit("Fig. 9: runtime & energy vs 2x GTX 980 (TX1 / GTX ratios)",
+         tables.format_discrete_gpu(rows))
+
+    by = {(r.workload, r.nodes): r for r in rows}
+
+    # Small clusters: slower but cheaper in energy (mobile silicon).
+    for name in ("hpl", "jacobi", "tealeaf2d", "alexnet", "googlenet"):
+        assert by[(name, 2)].runtime_ratio > 2.0
+        assert by[(name, 2)].energy_ratio < 1.0
+    # Scalable workloads become faster AND stay cheaper at 16 nodes.
+    for name in ("jacobi", "alexnet", "googlenet"):
+        assert by[(name, 16)].runtime_ratio < 1.05
+        assert by[(name, 16)].energy_ratio < 1.0
+    # The poorly-scaling tealeaf family wastes energy at scale: its energy
+    # ratio deteriorates as nodes are added.
+    for name in ("tealeaf2d", "tealeaf3d", "cloverleaf"):
+        assert by[(name, 16)].energy_ratio > by[(name, 2)].energy_ratio
+    # Runtime improves monotonically with node count for the scalable set.
+    for name in ("jacobi", "hpl", "googlenet"):
+        series = [by[(name, n)].runtime_ratio for n in (2, 4, 8, 16)]
+        assert series == sorted(series, reverse=True)

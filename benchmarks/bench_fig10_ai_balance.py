@@ -1,0 +1,23 @@
+"""Fig. 10 — AI workloads: scale-out speedup and CPU/GPGPU balance."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_fig10_ai_balance(once):
+    rows = once(ex.ai_balance_study)
+    emit("Fig. 10: AI speedup + unhalted CPU cycles/s vs scale-up",
+         tables.format_ai_balance(rows))
+
+    by = {(r.workload, r.nodes): r for r in rows}
+
+    for name in ("alexnet", "googlenet"):
+        # Speedup over the discrete cluster grows with node count and the
+        # 16-node cluster (same total SM count as 2x GTX 980) wins.
+        series = [by[(name, n)].speedup for n in (2, 4, 8, 16)]
+        assert series == sorted(series)
+        assert by[(name, 16)].speedup > 1.0
+        # The win comes from CPU/GPGPU balance: at the same SM count the
+        # scale-out cluster sustains far more decode cycles per second.
+        assert by[(name, 16)].cpu_cycles_ratio > 1.5

@@ -1,0 +1,46 @@
+"""Sensitivity of the headline conclusions to reconstructed constants."""
+
+from repro.bench import sensitivity as sens
+
+from benchmarks.conftest import emit
+
+
+def test_sensitivity_roofline_limits(once):
+    rows = once(sens.roofline_limit_sensitivity)
+    body = [f"{'workload':<11}{'gpu bw x':>9}{'nic x':>7}{'1G limit':>13}"
+            f"{'10G limit':>13}  transition"]
+    for r in rows:
+        body.append(
+            f"{r.workload:<11}{r.gpu_bw_scale:>9.2f}{r.nic_rate_scale:>7.2f}"
+            f"{r.limit_1g.value:>13}{r.limit_10g.value:>13}  "
+            + ("holds" if r.transition_holds else "breaks")
+        )
+    emit("Sensitivity: Table II network->operational transition", "\n".join(body))
+
+    by = {(r.workload, r.gpu_bw_scale, r.nic_rate_scale): r for r in rows}
+    # At the calibrated constants both transitions hold.
+    assert by[("hpl", 1.0, 1.0)].transition_holds
+    assert by[("tealeaf3d", 1.0, 1.0)].transition_holds
+    # tealeaf3d's transition is robust to +-20-25% on either constant.
+    for r in rows:
+        if r.workload == "tealeaf3d":
+            assert r.transition_holds
+    # hpl's is marginal: a -20% NIC rate keeps it network-limited at 10 GbE
+    # (documented in EXPERIMENTS.md).
+    assert not by[("hpl", 1.0, 0.8)].transition_holds
+
+
+def test_sensitivity_fig1_ordering(once):
+    rows = once(sens.network_speedup_sensitivity)
+    body = [f"{'1GbE scale':>11}  " + "  ".join(
+        f"{k}={v:.2f}" for k, v in rows[0].speedups.items())]
+    for r in rows:
+        body.append(f"{r.gbe_rate_scale:>11.2f}  " + "  ".join(
+            f"{k}={v:.2f}" for k, v in r.speedups.items()))
+    emit("Sensitivity: Fig. 1 ordering vs the reconstructed 1GbE rate",
+         "\n".join(body))
+
+    # The qualitative ordering (tealeaf3d/hpl on top, CNNs at the bottom)
+    # survives a +-50% error in the reconstructed 0.53 Gb/s figure.
+    for r in rows:
+        assert r.ordering_holds()

@@ -1,0 +1,42 @@
+"""Table II — measured intensities, throughput, %peak, and limiting roof."""
+
+from repro.bench import experiments as ex
+from repro.core import LimitingFactor, render_table2
+
+from benchmarks.conftest import emit
+
+
+def test_table2_roofline_params(once):
+    points = once(ex.roofline_points)
+    emit("Table II: extended Roofline parameters", render_table2(points))
+
+    by = {
+        (p.name, network): p
+        for network, plist in points.items()
+        for p in plist
+    }
+
+    # Intensities are workload properties: the NIC choice must not move them.
+    for name in ("hpl", "jacobi", "tealeaf3d"):
+        assert by[(name, "1G")].operational_intensity == by[
+            (name, "10G")
+        ].operational_intensity
+        assert by[(name, "1G")].network_intensity == by[(name, "10G")].network_intensity
+
+    # The paper's limit column: hpl and tealeaf3d are network-limited on
+    # 1 GbE and become operational-limited on 10 GbE; the rest are
+    # operational-limited under both NICs.
+    for name in ("hpl", "tealeaf3d"):
+        assert by[(name, "1G")].limit is LimitingFactor.NETWORK
+        assert by[(name, "10G")].limit is LimitingFactor.OPERATIONAL
+    for name in ("jacobi", "tealeaf2d", "cloverleaf", "googlenet"):
+        assert by[(name, "1G")].limit is LimitingFactor.OPERATIONAL
+        assert by[(name, "10G")].limit is LimitingFactor.OPERATIONAL
+
+    # hpl has the highest DP throughput and every benchmark sits under its
+    # attainable bound.
+    dp10 = {n: by[(n, "10G")].throughput for n in
+            ("hpl", "jacobi", "cloverleaf", "tealeaf2d", "tealeaf3d")}
+    assert max(dp10, key=dp10.get) in ("hpl", "cloverleaf")
+    for point in points["10G"] + points["1G"]:
+        assert 0.0 < point.percent_of_peak <= 100.0

@@ -1,0 +1,29 @@
+"""Table III — jacobi under the three CUDA memory-management models."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_table3_memory_models(once):
+    rows = once(ex.memory_model_study)
+    emit("Table III: CUDA memory models (normalized to host+device)",
+         tables.format_memory_models(rows))
+
+    by = {(r.nodes, r.model): r for r in rows}
+    for nodes in (1, 16):
+        hd = by[(nodes, "host-device")]
+        zc = by[(nodes, "zero-copy")]
+        um = by[(nodes, "unified")]
+        # Host & device is the baseline.
+        assert hd.runtime == 1.0 and hd.l2_usage == 1.0
+        # Zero-copy: ~2x runtime with the cache hierarchy bypassed
+        # (collapsed L2 usage and read throughput, elevated memory stalls).
+        assert 1.6 < zc.runtime < 2.6
+        assert zc.l2_usage < 0.1
+        assert zc.l2_read_throughput < 0.1
+        assert zc.memory_stalls > 1.5
+        # Unified memory performs like host & device with caching intact.
+        assert 0.9 < um.runtime < 1.1
+        assert um.l2_usage > 0.9
+        assert 0.9 < um.memory_stalls < 1.1

@@ -1,0 +1,33 @@
+"""Table IV — hpl throughput/efficiency: CPU, GPGPU, and collocated."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_table4_collocation(once):
+    rows = once(ex.collocation_study)
+    emit("Table IV: hpl CPU / GPU / CPU+GPU collocation",
+         tables.format_collocation(rows))
+
+    by = {r.config: r for r in rows}
+    for nodes in (2, 4, 8, 16):
+        # The GPGPU version beats the CPU version on the same network.
+        assert by["GPU+10G"].throughput_gflops[nodes] > by["CPU+10G"].throughput_gflops[nodes]
+        # Collocation stacks both: highest throughput of all configs.
+        assert by["CPU+GPU+10G"].throughput_gflops[nodes] >= max(
+            by["GPU+10G"].throughput_gflops[nodes],
+            by["CPU+10G"].throughput_gflops[nodes],
+        )
+        # 10 GbE helps hpl at every size.
+        assert by["GPU+10G"].throughput_gflops[nodes] > by["GPU+1G"].throughput_gflops[nodes]
+
+    # The headline: collocation improves energy efficiency over the best
+    # single-mode result at 16 nodes.
+    best_single = max(
+        by["GPU+10G"].mflops_per_watt[16], by["CPU+10G"].mflops_per_watt[16]
+    )
+    assert by["CPU+GPU+10G"].mflops_per_watt[16] > 1.1 * best_single
+    # And the cluster's MFLOPS/W sits far above the Tibidabo-class ~120
+    # MFLOPS/W the paper cites for CPU-only ARM clusters.
+    assert by["GPU+10G"].mflops_per_watt[16] > 300

@@ -1,0 +1,27 @@
+"""Table VI — NPB on the Cavium ThunderX server vs the 16-node TX1 cluster."""
+
+from repro.bench import experiments as ex, tables
+
+from benchmarks.conftest import emit
+
+
+def test_table6_cavium_comparison(once):
+    rows = once(ex.cavium_comparison)
+    emit("Table VI: Cavium vs TX1 cluster (ratios, Cavium / cluster)",
+         tables.format_cavium(rows))
+
+    by = {r.benchmark: r for r in rows}
+
+    # The poorly-scaling, network/LB-bound codes run better on the server.
+    for name in ("cg", "ft", "is"):
+        assert by[name].runtime < 1.05
+    # The compute-bound codes run better on the cluster: the ThunderX's
+    # branch predictor and L2 fall over.
+    for name in ("bt", "ep", "mg", "sp"):
+        assert by[name].runtime > 1.3
+    # mg is the server's worst case (paper: ~2.5x).
+    assert by["mg"].runtime == max(r.runtime for r in rows)
+    assert 2.0 < by["mg"].runtime < 3.0
+    # Both systems draw comparable power (same ~350 W budget class).
+    for r in rows:
+        assert 0.8 < r.power < 1.5

@@ -1,0 +1,31 @@
+"""Descriptive tables I, V, VII plus the calibration ledger."""
+
+from repro.bench import calibration
+
+from benchmarks.conftest import emit
+
+
+def test_descriptive_tables(once):
+    def build():
+        lines = ["Table I: GPGPU-accelerated workloads"]
+        for tag, desc, size in calibration.TABLE1_WORKLOADS:
+            lines.append(f"  {tag:<12}{desc} [{size}]")
+        lines.append("\nTable V: Cavium ThunderX vs TX1 node")
+        for row in calibration.table5_rows():
+            lines.append(f"  {row[0]:<18}{row[1]:<22}{row[2]}")
+        lines.append("\nTable VII: GTX 980 vs TX1 GPGPU")
+        for row in calibration.table7_rows():
+            lines.append(f"  {row[0]:<18}{row[1]:<28}{row[2]}")
+        lines.append("\nCalibration ledger (provenance of every constant):")
+        for entry in calibration.CALIBRATION_LEDGER:
+            lines.append(f"  [{entry.provenance:<13}] {entry.name}: {entry.value}"
+                         + (f" ({entry.note})" if entry.note else ""))
+        return "\n".join(lines)
+
+    body = once(build)
+    emit("Tables I / V / VII + calibration ledger", body)
+
+    assert len(calibration.TABLE1_WORKLOADS) == 7
+    assert any("78KB" in row[1] for row in calibration.table5_rows())
+    provenances = {e.provenance for e in calibration.CALIBRATION_LEDGER}
+    assert provenances <= {"paper", "reconstructed", "calibrated", "paper/reconstructed"}

@@ -1,0 +1,27 @@
+"""Shared pytest-benchmark configuration.
+
+Each module regenerates one of the paper's tables/figures.  Experiments are
+deterministic simulations, so every benchmark runs one round via
+``benchmark.pedantic`` and the printed output carries the paper-style rows
+(run with ``-s`` to see them live; they are also asserted structurally).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+def emit(title: str, body: str) -> None:
+    """Print a paper-style block (visible with pytest -s)."""
+    print(f"\n=== {title} ===\n{body}")

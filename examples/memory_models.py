@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""CUDA memory-management models on a unified-memory SoC (Table III).
+
+Runs jacobi under host+device copy, zero-copy, and unified memory on a
+single TX1 and on the 16-node cluster, printing the nvprof-style metrics
+that exposed the paper's zero-copy finding: the TX1 bypasses its cache
+hierarchy for zero-copy mappings to keep coherence.
+
+Run:  python examples/memory_models.py
+"""
+
+from repro.bench.runner import run_workload
+from repro.cuda import MemoryModel
+
+
+def main() -> None:
+    for nodes in (1, 16):
+        print(f"\n=== jacobi on {nodes} node(s), 10 GbE ===")
+        print(f"{'model':<14}{'runtime s':>10}{'L2 util':>9}"
+              f"{'L2 read GB/s':>14}{'mem stalls':>11}")
+        for model in MemoryModel:
+            run = run_workload("jacobi", nodes=nodes, memory_model=model,
+                               use_cache=False)
+            profs = run.result.gpu_profilers
+            l2 = sum(p.mean_l2_utilization() for p in profs) / len(profs)
+            l2rt = sum(p.mean_l2_read_throughput() for p in profs) / len(profs)
+            stalls = sum(p.mean_memory_stall_fraction() for p in profs) / len(profs)
+            print(f"{model.value:<14}{run.runtime:>10.2f}{l2:>9.2f}"
+                  f"{l2rt / 1e9:>14.2f}{stalls:>11.2f}")
+    print("\nZero-copy: ~2x runtime with L2 utilization and read throughput"
+          "\ncollapsed to zero — caching is bypassed for coherence (Table III)."
+          "\nUnified memory matches host+device while being easier to program.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Strong-scaling study with the paper's trace-driven methodology (Fig. 5).
+
+Traces tealeaf3d on growing TX1 clusters, decomposes parallel efficiency
+into the BSC factors (eta = LB x Ser x Trf, Eq. 4), replays the traces
+DIMEMAS-style under an ideal network and an ideal load balance, and fits a
+scalability model to extrapolate to 256 nodes.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.bench.runner import run_workload
+from repro.replay import (
+    ideal_load_balance_runtime,
+    ideal_network_runtime,
+    network_from_nic,
+)
+from repro.scalability import fit_usl, parallel_efficiency
+
+WORKLOAD = "tealeaf3d"
+SIZES = (2, 4, 8, 16)
+
+
+def main() -> None:
+    base = run_workload(WORKLOAD, nodes=1, network="10G", traced=True)
+    print(f"{WORKLOAD}: baseline 1 node = {base.runtime:.2f} s\n")
+    print(f"{'nodes':>6}{'speedup':>9}{'LB':>7}{'Ser':>7}{'Trf':>7}{'eta':>7}"
+          f"{'ideal-net':>11}{'ideal-LB':>10}")
+
+    speedups = []
+    for nodes in SIZES:
+        run = run_workload(WORKLOAD, nodes=nodes, network="10G", traced=True)
+        speedup = base.runtime / run.runtime
+        speedups.append(speedup)
+        breakdown = parallel_efficiency(run.trace, rank_to_node=run.rank_to_node)
+        net = network_from_nic(run.cluster.spec.nic, run.cluster.spec.switch)
+        t_ideal = ideal_network_runtime(run.trace, rank_to_node=run.rank_to_node)
+        t_lb = ideal_load_balance_runtime(run.trace, net, rank_to_node=run.rank_to_node)
+        print(f"{nodes:>6}{speedup:>9.2f}"
+              f"{breakdown.load_balance:>7.2f}{breakdown.serialization:>7.2f}"
+              f"{breakdown.transfer:>7.2f}{breakdown.efficiency:>7.2f}"
+              f"{base.runtime / t_ideal:>11.2f}{base.runtime / t_lb:>10.2f}")
+
+    fit = fit_usl([float(n) for n in SIZES], speedups)
+    print(f"\nUSL fit: sigma={fit.sigma:.4f}, kappa={fit.kappa:.2e}, r^2={fit.r2:.3f}")
+    for nodes in (32, 64, 128, 256):
+        print(f"  model speedup at {nodes:>3} nodes: {float(fit.speedup(nodes)):6.1f}")
+    peak = fit.peak_nodes()
+    if peak < 1e4:
+        print(f"  model peaks near {peak:.0f} nodes — the paper's tealeaf-family "
+              "flattening, driven by host/device synchronization (Ser).")
+    else:
+        print("  the model keeps growing, but efficiency is already low: the "
+              "fixed host/device synchronization (Ser) caps the benefit.")
+
+
+if __name__ == "__main__":
+    main()

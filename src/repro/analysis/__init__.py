@@ -1,0 +1,18 @@
+"""Statistical analysis: PLS regression and observation-matrix building.
+
+`repro.analysis.pls` is a from-scratch NIPALS implementation of partial
+least squares (PLS1); `repro.analysis.observation` builds the paper's
+relative-counter observation matrix for the Cavium-vs-TX1 study (§IV-A).
+"""
+
+from repro.analysis.observation import ObservationMatrix, build_observation_matrix
+from repro.analysis.pls import PLSModel, fit_pls, loo_press, select_components_by_press
+
+__all__ = [
+    "ObservationMatrix",
+    "PLSModel",
+    "build_observation_matrix",
+    "fit_pls",
+    "loo_press",
+    "select_components_by_press",
+]

@@ -1,0 +1,74 @@
+"""Observation-matrix construction for the cross-system PLS study.
+
+"We constructed an observation matrix, X, where each row contains our
+relative value of events/metrics for each benchmark on the Cavium server
+compared to our cluster. The response vector, Y, is constructed based on the
+relative performance of the Cavium server to the TX1 cluster."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ObservationMatrix:
+    """Relative events/metrics (X) and relative performance (y)."""
+
+    benchmarks: tuple[str, ...]
+    variable_names: tuple[str, ...]
+    X: np.ndarray  # (n_benchmarks, n_variables)
+    y: np.ndarray  # (n_benchmarks,)
+
+
+def build_observation_matrix(
+    metrics_a: dict[str, dict[str, float]],
+    metrics_b: dict[str, dict[str, float]],
+    runtime_a: dict[str, float],
+    runtime_b: dict[str, float],
+    variables: list[str] | None = None,
+) -> ObservationMatrix:
+    """Relative system-A-over-system-B observation matrix.
+
+    ``metrics_*`` map benchmark -> {variable -> value} (from
+    :func:`repro.counters.derive_metrics`); ``runtime_*`` map benchmark ->
+    seconds.  Rows are benchmarks; X entries are A/B metric ratios and y is
+    the A/B runtime ratio (>1 = A slower, the paper's 'relative runtime').
+    """
+    benchmarks = sorted(metrics_a)
+    if sorted(metrics_b) != benchmarks or sorted(runtime_a) != benchmarks or sorted(
+        runtime_b
+    ) != benchmarks:
+        raise AnalysisError("metric/runtime dictionaries must share benchmarks")
+    if not benchmarks:
+        raise AnalysisError("no benchmarks supplied")
+
+    if variables is None:
+        variables = sorted(metrics_a[benchmarks[0]])
+    for bench in benchmarks:
+        for var in variables:
+            if var not in metrics_a[bench] or var not in metrics_b[bench]:
+                raise AnalysisError(f"variable {var!r} missing for {bench!r}")
+
+    X = np.empty((len(benchmarks), len(variables)))
+    y = np.empty(len(benchmarks))
+    for i, bench in enumerate(benchmarks):
+        for j, var in enumerate(variables):
+            denom = metrics_b[bench][var]
+            if denom == 0.0:
+                raise AnalysisError(f"zero baseline for {var!r} on {bench!r}")
+            X[i, j] = metrics_a[bench][var] / denom
+        if runtime_b[bench] <= 0:
+            raise AnalysisError(f"non-positive baseline runtime for {bench!r}")
+        y[i] = runtime_a[bench] / runtime_b[bench]
+
+    return ObservationMatrix(
+        benchmarks=tuple(benchmarks),
+        variable_names=tuple(variables),
+        X=X,
+        y=y,
+    )

@@ -1,0 +1,13 @@
+"""The experiment harness: one canned experiment per paper table/figure.
+
+`repro.bench.experiments` holds the experiment functions (E1-E15 in
+DESIGN.md); `repro.bench.runner` the shared measurement machinery;
+`repro.bench.calibration` the descriptive configuration tables (I, V, VII)
+with provenance notes; `repro.bench.tables` the text formatting used by the
+``benchmarks/`` modules to print paper-style rows.
+"""
+
+from repro.bench.runner import ExperimentRun, run_workload
+from repro.bench import calibration, experiments, tables
+
+__all__ = ["ExperimentRun", "calibration", "experiments", "run_workload", "tables"]

@@ -1,0 +1,102 @@
+"""Descriptive configuration tables (I, V, VII) and calibration provenance.
+
+Each constant is tagged with its provenance:
+
+* ``paper`` — stated verbatim in the supplied text;
+* ``reconstructed`` — the OCR dropped digits; the value is rebuilt from
+  vendor architecture specifications and the paper's intact statements;
+* ``calibrated`` — a free model parameter tuned so a paper-reported
+  *behaviour* (not number) is reproduced.
+
+EXPERIMENTS.md discusses every reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import catalog
+from repro.units import to_gbit_s, to_gflops
+
+
+@dataclass(frozen=True)
+class CalibratedValue:
+    """A named constant with provenance."""
+
+    name: str
+    value: str
+    provenance: str  # paper | reconstructed | calibrated
+    note: str = ""
+
+
+#: Table I — the GPGPU-accelerated workloads (descriptive).
+TABLE1_WORKLOADS = (
+    ("hpl", "High performance Linpack solving Ax=b", "N=16384, NB=1024 (reconstructed)"),
+    ("cloverleaf", "Solves compressible Euler equations", "3840^2 cells (reconstructed), reduced steps"),
+    ("tealeaf2d", "Solves the linear heat conduction equation in 2D", "4000x4000 cells (paper)"),
+    ("tealeaf3d", "Solves the linear heat conduction equation in 3D", "~250-288^3 cells, 5 steps (paper/reconstructed)"),
+    ("jacobi", "Solves Poisson equation on a rectangle", "8192^2 matrix (reconstructed to fit host+device)"),
+    ("alexnet", "Parallelized Caffe classifying ImageNet images (AlexNet)", "2048 images (reduced)"),
+    ("googlenet", "Parallelized Caffe classifying ImageNet images (GoogleNet)", "2048 images (reduced)"),
+)
+
+
+def table5_rows() -> list[tuple[str, str, str]]:
+    """Table V: ThunderX server vs TX1 node configuration."""
+    tx1 = catalog.jetson_tx1()
+    cav = catalog.cavium_thunderx()
+    return [
+        ("ISA", "64-bit ARM v8", "64-bit ARM v8 & PTX"),
+        ("CPU cores", str(cav.core_count), f"{tx1.core_count} Cortex-A57"),
+        ("CPU freq", f"{cav.cpu.frequency_hz/1e9:.2f} GHz", f"{tx1.cpu.frequency_hz/1e9:.2f} GHz"),
+        ("GPGPU", "-", f"{tx1.gpu.sm_count} Maxwell SM"),
+        ("L1 (I/D)", "78KB/32KB", "48KB/32KB"),
+        ("L2 size", "16 MB", "2 MB"),
+        ("SoC TDP", "120 W", "15 W"),
+    ]
+
+
+def table7_rows() -> list[tuple[str, str, str]]:
+    """Table VII: discrete GTX 980 vs the TX1's integrated GPGPU."""
+    gtx = catalog.GTX980
+    tx1 = catalog.TX1_GPU
+    return [
+        ("Cores", f"{gtx.sm_count} Maxwell SM ({gtx.cuda_cores} CUDA)",
+         f"{tx1.sm_count} Maxwell SM ({tx1.cuda_cores} CUDA)"),
+        ("GPGPU freq", f"{gtx.frequency_hz/1e9:.2f} GHz", f"{tx1.frequency_hz/1e9:.3f} GHz"),
+        ("L2 size", f"{gtx.l2_bytes/2**20:.1f} MB", f"{tx1.l2_bytes/2**20:.2f} MB"),
+        ("Memory", "4 GB GDDR5", "4 GB LPDDR4 (shared)"),
+        ("Memory bandwidth", f"{gtx.memory_bandwidth/1e9:.0f} GB/s",
+         f"{catalog.TX1_DRAM.capacity_bytes/2**30:.0f} GB bus @ 25.6 GB/s theoretical"),
+        ("Peak DP", f"{to_gflops(gtx.peak_dp_flops):.0f} GFLOPS",
+         f"{to_gflops(tx1.peak_dp_flops):.1f} GFLOPS"),
+        ("TDP", "180 W (card)", "15 W (whole SoC)"),
+    ]
+
+
+#: The reconstruction/calibration ledger.
+CALIBRATION_LEDGER: tuple[CalibratedValue, ...] = (
+    CalibratedValue("TX1 CPU frequency", "1.73 GHz", "paper",
+                    "boards cap below the documented 1.9 GHz"),
+    CalibratedValue("TX1 GPU", "2 Maxwell SMs, 256 CUDA cores @ 0.998 GHz",
+                    "reconstructed", "OCR shows '5 CUDA cores' = 256"),
+    CalibratedValue("10GbE iperf", f"{to_gbit_s(catalog.XGBE_PCIE.achievable_rate):.1f} Gb/s",
+                    "paper", "'3.3 Gb/s' between two TX1 nodes"),
+    CalibratedValue("1GbE iperf", f"{to_gbit_s(catalog.GBE_ONBOARD.achievable_rate):.2f} Gb/s",
+                    "reconstructed", "typical GbE sustained rate"),
+    CalibratedValue("ping-pong RTT", "0.1 ms -> 0.05 ms", "reconstructed",
+                    "OCR '. ms to .5 ms' read as 0.1/0.05 ms MPI latency"),
+    CalibratedValue("stream bandwidth (CPU/GPU)", "14.7 / 20 GB/s", "reconstructed",
+                    "OCR '.7 GB/s and GB/s'; LPDDR4-3200 64-bit = 25.6 GB/s peak"),
+    CalibratedValue("10GbE NIC power", "5 W/node", "paper", ""),
+    CalibratedValue("common power budget", "~350 W max load", "paper",
+                    "16-node TX1 cluster ~= Cavium server ~= 2x GTX980 hosts"),
+    CalibratedValue("Xeon host tax", "100-150 W", "paper/reconstructed", ""),
+    CalibratedValue("zero-copy bypass factor", "0.65 bandwidth, L2 off",
+                    "calibrated", "targets Table III's ~2x jacobi slowdown"),
+    CalibratedValue("ThunderX branch misprediction", "2.75x the A57 rate",
+                    "calibrated", "targets Fig. 8's PLS outcome"),
+    CalibratedValue("iteration counts", "reduced 2-10x per workload",
+                    "calibrated", "keeps discrete-event counts tractable; "
+                    "per-iteration work scaled so runtimes are preserved"),
+)

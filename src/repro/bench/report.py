@@ -1,0 +1,106 @@
+"""Experiment-result artifacts: JSON for machines, Markdown for humans.
+
+``write_report`` runs any subset of the paper's experiments and writes
+
+* ``<outdir>/results.json`` — every number, keyed by experiment id, and
+* ``<outdir>/REPORT.md`` — the paper-style text blocks,
+
+so a CI job (or the EXPERIMENTS.md author) can diff runs over time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.bench import experiments as ex, tables
+
+#: experiment id -> (data function, text formatter)
+_REGISTRY: dict[str, tuple[Callable[[], Any], Callable[[Any], str]]] = {
+    "fig1_fig2": (ex.network_comparison, tables.format_network_comparison),
+    "fig3": (ex.traffic_characterization, tables.format_traffic),
+    "table2": (
+        ex.roofline_points,
+        lambda points: __import__("repro.core", fromlist=["render_table2"]).render_table2(points),
+    ),
+    "fig5": (ex.gpgpu_scalability, tables.format_scalability),
+    "fig6": (ex.npb_scalability, tables.format_scalability),
+    "table3": (ex.memory_model_study, tables.format_memory_models),
+    "fig7": (ex.work_ratio_study, tables.format_work_ratio),
+    "table4": (ex.collocation_study, tables.format_collocation),
+    "table6": (ex.cavium_comparison, tables.format_cavium),
+    "fig8": (ex.pls_study, tables.format_pls),
+    "fig9": (ex.discrete_gpu_comparison, tables.format_discrete_gpu),
+    "fig10": (ex.ai_balance_study, tables.format_ai_balance),
+    "microbench": (ex.network_microbench, tables.format_microbench),
+}
+
+#: The cheap subset suitable for smoke runs.
+QUICK_EXPERIMENTS = ("microbench", "fig3", "table2", "table6", "fig10")
+
+
+def available_experiments() -> tuple[str, ...]:
+    """All experiment ids the reporter can run."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert experiment outputs to JSON-safe structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {}
+        for field in dataclasses.fields(value):
+            out[field.name] = _jsonable(getattr(value, field.name))
+        return out
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "tolist"):  # numpy
+        return _jsonable(value.tolist())
+    if hasattr(value, "value"):  # enums
+        return value.value
+    return repr(value)
+
+
+def run_experiments(names: tuple[str, ...] | None = None) -> dict[str, dict[str, Any]]:
+    """Run *names* (default: the quick subset) and return id -> {data, text}."""
+    names = names or QUICK_EXPERIMENTS
+    results: dict[str, dict[str, Any]] = {}
+    for name in names:
+        try:
+            fn, fmt = _REGISTRY[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {name!r}; choose from {available_experiments()}"
+            ) from None
+        data = fn()
+        results[name] = {"data": _jsonable(data), "text": fmt(data)}
+    return results
+
+
+def write_report(
+    outdir: str | Path,
+    names: tuple[str, ...] | None = None,
+) -> tuple[Path, Path]:
+    """Run experiments and write results.json + REPORT.md under *outdir*."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    results = run_experiments(names)
+
+    json_path = outdir / "results.json"
+    json_path.write_text(
+        json.dumps({k: v["data"] for k, v in results.items()}, indent=2)
+    )
+
+    md_lines = ["# Experiment report", ""]
+    for name, payload in results.items():
+        md_lines += [f"## {name}", "", "```text", payload["text"], "```", ""]
+    md_path = outdir / "REPORT.md"
+    md_path.write_text("\n".join(md_lines))
+    return json_path, md_path

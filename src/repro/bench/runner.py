@@ -1,0 +1,98 @@
+"""Shared measurement machinery for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster import Cluster, Job
+from repro.cluster.cluster import (
+    ClusterSpec,
+    gtx980_cluster_spec,
+    thunderx_cluster_spec,
+    tx1_cluster_spec,
+)
+from repro.cluster.job import JobResult
+from repro.tracing import Trace, Tracer
+from repro.workloads import make_workload
+from repro.workloads.base import Workload
+
+#: The paper's cluster sizes (Figs. 1-2, 5-7, 9-10).
+CLUSTER_SIZES = (2, 4, 8, 16)
+
+
+@dataclass
+class ExperimentRun:
+    """One measured run: results plus the cluster and optional trace."""
+
+    workload: Workload
+    cluster: Cluster
+    result: JobResult
+    trace: Trace | None
+    rank_to_node: list[int]
+
+    @property
+    def runtime(self) -> float:
+        """Wall duration of the run."""
+        return self.result.elapsed_seconds
+
+
+_cache: dict[tuple, ExperimentRun] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (each run is deterministic, so caching is safe)."""
+    _cache.clear()
+
+
+def run_workload(
+    name: str,
+    nodes: int = 16,
+    network: str = "10G",
+    system: str = "tx1",
+    ranks_per_node: int | None = None,
+    traced: bool = False,
+    use_cache: bool = True,
+    **workload_kwargs: Any,
+) -> ExperimentRun:
+    """Run benchmark *name* on a cluster and return the measurements.
+
+    ``system`` selects the machine: ``"tx1"`` (the proposed cluster),
+    ``"gtx980"`` (discrete-GPGPU hosts), or ``"thunderx"`` (the Cavium
+    server; *nodes* is ignored, 64 ranks as in §IV-A).
+    """
+    key = (
+        name, nodes, network, system, ranks_per_node, traced,
+        tuple(sorted(workload_kwargs.items())),
+    )
+    if use_cache and key in _cache:
+        return _cache[key]
+
+    workload = make_workload(name, **workload_kwargs)
+    spec = _cluster_spec(system, nodes, network)
+    cluster = Cluster(spec)
+    rpn = ranks_per_node
+    if rpn is None:
+        rpn = 64 if system == "thunderx" else workload.default_ranks_per_node
+    tracer = Tracer(cluster.node_count * rpn) if traced else None
+    result = workload.run_on(cluster, ranks_per_node=rpn, tracer=tracer)
+    run = ExperimentRun(
+        workload=workload,
+        cluster=cluster,
+        result=result,
+        trace=tracer.finalize() if tracer else None,
+        rank_to_node=[r // rpn for r in range(cluster.node_count * rpn)],
+    )
+    if use_cache:
+        _cache[key] = run
+    return run
+
+
+def _cluster_spec(system: str, nodes: int, network: str) -> ClusterSpec:
+    if system == "tx1":
+        return tx1_cluster_spec(nodes, network)
+    if system == "gtx980":
+        return gtx980_cluster_spec(nodes)
+    if system == "thunderx":
+        return thunderx_cluster_spec()
+    raise ValueError(f"unknown system {system!r}")

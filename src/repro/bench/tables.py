@@ -1,0 +1,197 @@
+"""Text formatting: paper-style rows for every experiment."""
+
+from __future__ import annotations
+
+from repro.bench import experiments as ex
+
+
+def format_network_comparison(cells: list["ex.NetworkComparison"]) -> str:
+    """Figs. 1-2 as a table: speedup and normalized energy per size."""
+    sizes = sorted({c.nodes for c in cells})
+    header = f"{'workload':<12}" + "".join(
+        f"{f'{n}n spd':>9}{f'{n}n enr':>9}" for n in sizes
+    )
+    lines = [header]
+    for name in dict.fromkeys(c.workload for c in cells):
+        row = f"{name:<12}"
+        for nodes in sizes:
+            cell = next(c for c in cells if c.workload == name and c.nodes == nodes)
+            row += f"{cell.speedup:>9.2f}{cell.energy_ratio:>9.2f}"
+        lines.append(row)
+    averages = ex.average_by_size(cells)
+    row = f"{'average':<12}"
+    for nodes in sizes:
+        spd, enr = averages[nodes]
+        row += f"{spd:>9.2f}{enr:>9.2f}"
+    lines.append(row)
+    return "\n".join(lines)
+
+
+def format_traffic(points: list["ex.TrafficPoint"]) -> str:
+    """Fig. 3 as labelled points."""
+    lines = [f"{'point':<16}{'DRAM GB/s':>12}{'network GB/s':>14}"]
+    for p in sorted(points, key=lambda p: (p.workload, p.network)):
+        lines.append(
+            f"{p.workload + '-' + p.network:<16}{p.dram_rate:>12.3f}{p.network_rate:>14.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_scatter_ascii(
+    points: list[tuple[str, float, float]],
+    *,
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A log-log ASCII scatter plot (Fig. 3's visual form).
+
+    ``points`` are (label, x, y) with strictly positive coordinates; each is
+    drawn with the label's first character, with a legend underneath.
+    """
+    import math
+
+    if not points:
+        raise ValueError("no points to plot")
+    if any(x <= 0 or y <= 0 for _, x, y in points):
+        raise ValueError("log-log scatter needs positive coordinates")
+    xs = [math.log10(x) for _, x, _ in points]
+    ys = [math.log10(y) for _, _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for (label, x, y), lx, ly in zip(points, xs, ys):
+        col = int((lx - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((ly - y_lo) / y_span * (height - 1))
+        marker = label[0].upper()
+        grid[row][col] = marker
+        legend.append(f"  {marker} = {label}: ({x:.3g}, {y:.3g})")
+
+    header = (
+        f"{y_label} (log, {10**y_lo:.3g}..{10**y_hi:.3g}) vs "
+        f"{x_label} (log, {10**x_lo:.3g}..{10**x_hi:.3g})"
+    )
+    body = "\n".join("|" + "".join(row) for row in grid)
+    return "\n".join([header, body, "+" + "-" * width] + legend)
+
+
+def format_scalability(curves: list["ex.ScalabilityCurve"],
+                       extrapolate_to: int = 256) -> str:
+    """Figs. 5-6: measured speedups, scenarios, and model extrapolation."""
+    lines = []
+    for c in curves:
+        lines.append(f"{c.workload} (r2: 1G={c.fit_1g.r2:.3f}, 10G={c.fit_10g.r2:.3f})")
+        header = f"  {'series':<16}" + "".join(f"{n:>8}" for n in c.sizes) + f"{extrapolate_to:>9}"
+        lines.append(header)
+        for label, series, fit in (
+            ("1G measured", c.measured_1g, c.fit_1g),
+            ("10G measured", c.measured_10g, c.fit_10g),
+            ("ideal network", c.ideal_network, c.fit_ideal_network),
+            ("ideal LB", c.ideal_load_balance, c.fit_ideal_lb),
+        ):
+            row = f"  {label:<16}" + "".join(f"{s:>8.2f}" for s in series)
+            row += f"{float(fit.speedup(extrapolate_to)):>9.1f}"
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def format_memory_models(rows: list["ex.MemoryModelRow"]) -> str:
+    """Table III."""
+    lines = [
+        f"{'nodes':<7}{'model':<14}{'runtime':>9}{'L2 usage':>10}"
+        f"{'L2 read':>9}{'stalls':>9}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.nodes:<7}{r.model:<14}{r.runtime:>9.2f}{r.l2_usage:>10.2f}"
+            f"{r.l2_read_throughput:>9.2f}{r.memory_stalls:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_work_ratio(study: dict[int, dict[float, float]]) -> str:
+    """Fig. 7."""
+    sizes = sorted(study)
+    ratios = sorted(next(iter(study.values())), reverse=True)
+    lines = [f"{'GPU ratio':<10}" + "".join(f"{f'{n} nodes':>10}" for n in sizes)]
+    for ratio in ratios:
+        row = f"{ratio:<10.2f}" + "".join(f"{study[n][ratio]:>10.3f}" for n in sizes)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_collocation(rows: list["ex.CollocationRow"]) -> str:
+    """Table IV."""
+    sizes = sorted(rows[0].throughput_gflops)
+    lines = [
+        f"{'config':<14}" + "".join(f"{f'{n}n GF':>9}" for n in sizes)
+        + "".join(f"{f'{n}n MF/W':>10}" for n in sizes)
+    ]
+    for r in rows:
+        line = f"{r.config:<14}"
+        line += "".join(f"{r.throughput_gflops[n]:>9.1f}" for n in sizes)
+        line += "".join(f"{r.mflops_per_watt[n]:>10.0f}" for n in sizes)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_cavium(rows: list["ex.CaviumRow"]) -> str:
+    """Table VI (values are Cavium / TX1-cluster)."""
+    lines = [f"{'benchmark':<11}{'runtime':>9}{'power':>9}{'energy':>9}"]
+    for r in rows:
+        lines.append(f"{r.benchmark:<11}{r.runtime:>9.2f}{r.power:>9.2f}{r.energy:>9.2f}")
+    return "\n".join(lines)
+
+
+def format_pls(study: "ex.PLSStudy") -> str:
+    """Fig. 8."""
+    lines = [
+        f"components explaining >=95% X-variance: {study.components_for_95pct} "
+        f"(LOO-PRESS selects {study.press_selected_components})",
+        "top PLS variables (|coef| desc): "
+        + ", ".join(f"{v} ({c:+.2f})" for v, c in study.top_variables),
+        f"{'benchmark':<11}{'rel runtime':>12}"
+        + "".join(f"{v:>16}" for v, _ in study.top_variables),
+    ]
+    for bench in study.benchmarks:
+        row = f"{bench:<11}{study.relative_runtime[bench]:>12.2f}"
+        for var, _ in study.top_variables:
+            row += f"{study.chosen_relative_values[bench][var]:>16.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_discrete_gpu(rows: list["ex.DiscreteGPURow"]) -> str:
+    """Fig. 9 (ratios are TX1 / 2x GTX 980; < 1 means the TX1 cluster wins)."""
+    lines = [f"{'workload':<12}{'nodes':>6}{'runtime':>10}{'energy':>10}"]
+    for r in rows:
+        lines.append(
+            f"{r.workload:<12}{r.nodes:>6}{r.runtime_ratio:>10.2f}{r.energy_ratio:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_ai_balance(rows: list["ex.AIBalanceRow"]) -> str:
+    """Fig. 10."""
+    lines = [f"{'workload':<12}{'nodes':>6}{'speedup':>9}{'cpu-cyc/s':>11}"]
+    for r in rows:
+        lines.append(
+            f"{r.workload:<12}{r.nodes:>6}{r.speedup:>9.2f}{r.cpu_cycles_ratio:>11.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_microbench(data: dict[str, dict[str, float]]) -> str:
+    """§III-A microbenchmarks."""
+    lines = [f"{'network':<9}{'iperf Gb/s':>12}{'ping-pong ms':>14}"]
+    for label in sorted(data):
+        lines.append(
+            f"{label:<9}{data[label]['iperf_gbit']:>12.2f}"
+            f"{data[label]['pingpong_ms']:>14.3f}"
+        )
+    return "\n".join(lines)

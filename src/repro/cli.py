@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show available workloads, systems, and experiments.
+``run``
+    Run one workload on a cluster and print the measurements (optionally a
+    Paraver-style timeline and the extended-Roofline placement).
+``experiment``
+    Regenerate one of the paper's tables/figures by id (fig1, table2, ...).
+``report``
+    Run a set of experiments and write results.json + REPORT.md artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.units import to_gflops
+from repro.workloads import ALL_NAMES, GPGPU_NAMES
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.bench import experiments  # noqa: F401  (import check)
+
+    print("workloads (GPGPU): " + " ".join(GPGPU_NAMES))
+    print("workloads (NPB)  : " + " ".join(n for n in ALL_NAMES if n not in GPGPU_NAMES))
+    print("systems          : tx1 (2/4/8/16 nodes, 1G|10G), gtx980, thunderx")
+    print("experiments      : " + " ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_workload
+    from repro.tracing import render_timeline, utilization_summary
+
+    run = run_workload(
+        args.workload,
+        nodes=args.nodes,
+        network=args.network,
+        system=args.system,
+        traced=args.timeline,
+        use_cache=False,
+    )
+    result = run.result
+    print(f"{args.workload} on {run.cluster.spec.name}:")
+    print(f"  runtime    : {result.elapsed_seconds:10.2f} s")
+    print(f"  throughput : {to_gflops(result.throughput_flops):10.2f} GFLOPS")
+    print(f"  avg power  : {result.average_power_watts:10.1f} W")
+    print(f"  energy     : {result.energy_joules:10.1f} J")
+    print(f"  efficiency : {result.mflops_per_watt():10.0f} MFLOPS/W")
+    if args.workload in GPGPU_NAMES and args.system == "tx1":
+        from repro.core import measure_roofline_point
+
+        point = measure_roofline_point(args.workload, result, run.cluster)
+        print(f"  roofline   : OI={point.operational_intensity:.2f} F/B, "
+              f"NI={point.network_intensity:.1f} F/B, "
+              f"{point.percent_of_peak:.0f}% of bound, limit={point.limit.value}")
+    if args.timeline and run.trace is not None:
+        print()
+        print(render_timeline(run.trace, width=args.width))
+        print()
+        print(utilization_summary(run.trace))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        runner = _EXPERIMENTS[args.name]
+    except KeyError:
+        print(f"unknown experiment {args.name!r}; try: {' '.join(sorted(_EXPERIMENTS))}",
+              file=sys.stderr)
+        return 2
+    print(runner())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import write_report
+
+    names = tuple(args.experiments) if args.experiments else None
+    json_path, md_path = write_report(args.outdir, names=names)
+    print(f"wrote {json_path} and {md_path}")
+    return 0
+
+
+def _exp_fig1() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_network_comparison(ex.network_comparison())
+
+
+def _exp_fig3() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_traffic(ex.traffic_characterization())
+
+
+def _exp_fig4() -> str:
+    from repro.bench import experiments as ex
+    from repro.core import render_roofline_ascii
+
+    models = ex.roofline_models()
+    points = ex.roofline_points()
+    return "\n\n".join(
+        render_roofline_ascii(models[net], points[net]) for net in ("1G", "10G")
+    )
+
+
+def _exp_table2() -> str:
+    from repro.bench import experiments as ex
+    from repro.core import render_table2
+
+    return render_table2(ex.roofline_points())
+
+
+def _exp_fig5() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_scalability(ex.gpgpu_scalability())
+
+
+def _exp_fig6() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_scalability(ex.npb_scalability())
+
+
+def _exp_table3() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_memory_models(ex.memory_model_study())
+
+
+def _exp_fig7() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_work_ratio(ex.work_ratio_study())
+
+
+def _exp_table4() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_collocation(ex.collocation_study())
+
+
+def _exp_table6() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_cavium(ex.cavium_comparison())
+
+
+def _exp_fig8() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_pls(ex.pls_study())
+
+
+def _exp_fig9() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_discrete_gpu(ex.discrete_gpu_comparison())
+
+
+def _exp_fig10() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_ai_balance(ex.ai_balance_study())
+
+
+def _exp_microbench() -> str:
+    from repro.bench import experiments as ex, tables
+
+    return tables.format_microbench(ex.network_microbench())
+
+
+_EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "fig1": _exp_fig1,
+    "fig2": _exp_fig1,  # same table carries both columns
+    "fig3": _exp_fig3,
+    "fig4": _exp_fig4,
+    "fig5": _exp_fig5,
+    "fig6": _exp_fig6,
+    "fig7": _exp_fig7,
+    "fig8": _exp_fig8,
+    "fig9": _exp_fig9,
+    "fig10": _exp_fig10,
+    "table2": _exp_table2,
+    "table3": _exp_table3,
+    "table4": _exp_table4,
+    "table6": _exp_table6,
+    "microbench": _exp_microbench,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPGPU-accelerated SoC-based ARM clusters (CLUSTER'17), simulated.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, systems, and experiments")
+
+    run_p = sub.add_parser("run", help="run one workload on a cluster")
+    run_p.add_argument("workload", choices=sorted(ALL_NAMES))
+    run_p.add_argument("--nodes", type=int, default=4)
+    run_p.add_argument("--network", choices=("1G", "10G"), default="10G")
+    run_p.add_argument("--system", choices=("tx1", "gtx980", "thunderx"),
+                       default="tx1")
+    run_p.add_argument("--timeline", action="store_true",
+                       help="collect a trace and print a Paraver-style timeline")
+    run_p.add_argument("--width", type=int, default=100,
+                       help="timeline width in characters")
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("name", help="e.g. fig1, table2, fig8, microbench")
+
+    rep_p = sub.add_parser("report", help="write results.json + REPORT.md")
+    rep_p.add_argument("--outdir", default="artifacts")
+    rep_p.add_argument("--experiments", nargs="*", default=None,
+                       help="experiment ids (default: the quick subset)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

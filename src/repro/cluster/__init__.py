@@ -1,0 +1,22 @@
+"""Cluster assembly and job execution.
+
+A :class:`Cluster` bundles N nodes, a switch fabric, and a file server; a
+:class:`Job` launches one MPI rank per requested process slot, giving each
+rank a :class:`RankContext` (communicator, CUDA context, CPU charging, power
+accounting).  :class:`Metering` closes the energy integral over a run,
+including the switch and NIC adders the paper's socket meter saw.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.job import Job, JobResult, RankContext
+from repro.cluster.metering import EnergyReport, Metering
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "EnergyReport",
+    "Job",
+    "JobResult",
+    "Metering",
+    "RankContext",
+]

@@ -1,0 +1,126 @@
+"""Cluster builder: nodes + switch + file server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware import catalog
+from repro.hardware.nic import NICSpec
+from repro.hardware.node import Node, NodeSpec
+from repro.network import Fabric, SwitchSpec
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Describes a homogeneous cluster build."""
+
+    name: str
+    node_spec: NodeSpec
+    node_count: int
+    nic: NICSpec
+    switch: SwitchSpec
+    # PCIe bandwidth for discrete-GPU hosts (None = integrated/unified GPU).
+    pcie_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigurationError(f"{self.name}: need at least one node")
+
+
+def tx1_cluster_spec(node_count: int, network: str = "10G") -> ClusterSpec:
+    """The paper's cluster: *node_count* Jetson TX1s on 1 GbE or 10 GbE."""
+    if network == "10G":
+        nic, switch = catalog.XGBE_PCIE, SwitchSpec.from_catalog(catalog.SWITCH_10G)
+    elif network == "1G":
+        nic, switch = catalog.GBE_ONBOARD, SwitchSpec.from_catalog(catalog.SWITCH_1G)
+    else:
+        raise ConfigurationError(f"unknown network {network!r} (use '1G' or '10G')")
+    return ClusterSpec(
+        name=f"TX1x{node_count}-{network}",
+        node_spec=catalog.jetson_tx1(),
+        node_count=node_count,
+        nic=nic,
+        switch=switch,
+    )
+
+
+def gtx980_cluster_spec(node_count: int = 2) -> ClusterSpec:
+    """The discrete-GPGPU comparison cluster: GTX 980 hosts on 10 GbE."""
+    return ClusterSpec(
+        name=f"GTX980x{node_count}",
+        node_spec=catalog.gtx980_host(),
+        node_count=node_count,
+        nic=catalog.XGBE_XEON,
+        switch=SwitchSpec.from_catalog(catalog.SWITCH_10G),
+        pcie_bandwidth=catalog.PCIE3_X16_BANDWIDTH,
+    )
+
+
+def thunderx_cluster_spec() -> ClusterSpec:
+    """The Cavium ThunderX server as a single-node 'cluster'."""
+    return ClusterSpec(
+        name="ThunderX",
+        node_spec=catalog.cavium_thunderx(),
+        node_count=1,
+        nic=catalog.XGBE_XEON,
+        switch=SwitchSpec.from_catalog(catalog.SWITCH_10G),
+    )
+
+
+class Cluster:
+    """A live cluster in a fresh simulation environment.
+
+    Besides the compute nodes, an NFS file server (§III-A: SSD-backed, on
+    the same switch) is attached to the fabric with id ``node_count``; it
+    serves workload inputs (e.g. JPEG images) but is excluded from the
+    cluster's power metering, as in the paper.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.env = Environment()
+        self.fabric = Fabric(self.env, spec.switch)
+        self.nodes = [
+            Node(self.env, spec.node_spec, node_id=i, nic=spec.nic)
+            for i in range(spec.node_count)
+        ]
+        for node in self.nodes:
+            self.fabric.attach(node)
+        # The Xeon file server is not PCIe-lane limited, so on a 10 GbE
+        # switch it gets a full-rate NIC; on 1 GbE it shares the line rate.
+        fs_nic = (
+            catalog.XGBE_XEON
+            if spec.nic.line_rate > catalog.GBE_ONBOARD.line_rate
+            else spec.nic
+        )
+        self.fileserver = Node(
+            self.env, catalog.fileserver(), node_id=spec.node_count, nic=fs_nic
+        )
+        self.fabric.attach(self.fileserver)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        """Total CPU cores in the cluster."""
+        return self.node_count * self.spec.node_spec.core_count
+
+    @property
+    def peak_dp_flops(self) -> float:
+        """Aggregate peak DP FLOP/s."""
+        return self.node_count * self.spec.node_spec.peak_dp_flops
+
+    @property
+    def gpu_peak_dp_flops(self) -> float:
+        """Aggregate GPU-only peak DP FLOP/s (the extended-Roofline roof)."""
+        gpu = self.spec.node_spec.gpu
+        return self.node_count * gpu.peak_dp_flops if gpu else 0.0
+
+    def nic_power_watts(self) -> float:
+        """Total NIC adder power across the cluster."""
+        return self.node_count * self.spec.nic.power_watts

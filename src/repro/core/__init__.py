@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the extended Roofline model.
+
+The classic Roofline bounds a chip's attainable performance by
+``min(peak_compute, memory_bandwidth × operational_intensity)``.  For an
+integrated-GPGPU cluster the paper adds a third ceiling — the network — and a
+second intensity axis::
+
+    operational intensity = FLOPs / bytes moved DRAM -> GPGPU          (Eq. 1)
+    network intensity     = FLOPs / bytes moved over the NIC           (Eq. 2)
+    attainable            = min(peak, mem_bw * OI, net_bw * NI)        (Eq. 3)
+
+`repro.core.roofline` implements the classic model, `repro.core.extended`
+the extension, `repro.core.model_io` derives intensities from measured job
+results, and `repro.core.report` renders Fig. 4-style plots and the Table II
+report as text.
+"""
+
+from repro.core.roofline import RooflineModel
+from repro.core.extended import ExtendedRoofline, LimitingFactor, RooflinePoint
+from repro.core.model_io import measure_roofline_point, roofline_for_cluster
+from repro.core.report import render_roofline_ascii, render_table2
+
+__all__ = [
+    "ExtendedRoofline",
+    "LimitingFactor",
+    "RooflineModel",
+    "RooflinePoint",
+    "measure_roofline_point",
+    "render_roofline_ascii",
+    "render_table2",
+    "roofline_for_cluster",
+]

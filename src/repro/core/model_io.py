@@ -1,0 +1,56 @@
+"""Deriving extended-Roofline inputs from measured runs."""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import JobResult
+from repro.core.extended import ExtendedRoofline, RooflinePoint
+from repro.errors import AnalysisError
+
+
+def roofline_for_cluster(cluster: Cluster) -> ExtendedRoofline:
+    """Per-node ceilings for *cluster* from its hardware specs."""
+    gpu = cluster.spec.node_spec.gpu
+    if gpu is None:
+        raise AnalysisError("extended roofline needs a GPGPU-bearing node")
+    return ExtendedRoofline(
+        name=cluster.spec.name,
+        peak_flops=gpu.peak_dp_flops,
+        memory_bandwidth=gpu.memory_bandwidth,
+        network_bandwidth=cluster.spec.nic.achievable_rate,
+    )
+
+
+def measure_roofline_point(
+    name: str,
+    result: JobResult,
+    cluster: Cluster,
+    model: ExtendedRoofline | None = None,
+) -> RooflinePoint:
+    """Eq. 1/2 applied to a measured run, normalized per node.
+
+    Operational intensity divides GPU FLOPs by the DRAM traffic to the GPGPU
+    (kernel traffic + host<->device staging, matching the paper's "data
+    transferred through the DRAM to the GPGPU"); network intensity divides by
+    the bytes the NICs carried.  Intensities are ratios, so per-node
+    normalization only matters for throughput.
+    """
+    if model is None:
+        model = roofline_for_cluster(cluster)
+    if result.elapsed_seconds <= 0:
+        raise AnalysisError("run has no duration")
+    flops = result.gpu_flops
+    if flops <= 0:
+        raise AnalysisError(f"{name}: no GPU FLOPs measured")
+    if result.gpu_dram_bytes <= 0:
+        raise AnalysisError(f"{name}: no GPGPU DRAM traffic measured")
+    if result.network_bytes <= 0:
+        raise AnalysisError(f"{name}: no network traffic measured")
+    n = cluster.node_count
+    return RooflinePoint(
+        name=name,
+        operational_intensity=flops / result.gpu_dram_bytes,
+        network_intensity=flops / result.network_bytes,
+        throughput=(flops / result.elapsed_seconds) / n,
+        model=model,
+    )

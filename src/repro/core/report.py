@@ -1,0 +1,87 @@
+"""Text rendering: Fig. 4-style roofline plots and the Table II report."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.extended import ExtendedRoofline, RooflinePoint
+from repro.units import to_gflops
+
+
+def render_roofline_ascii(
+    model: ExtendedRoofline,
+    points: list[RooflinePoint] | None = None,
+    *,
+    width: int = 64,
+    height: int = 18,
+    oi_range: tuple[float, float] = (0.01, 1000.0),
+) -> str:
+    """A log-log ASCII plot of the extended roofline.
+
+    The x axis is operational intensity; the plotted roof is
+    ``min(peak, mem_bw * OI)``.  Each workload point is placed at its
+    (OI, achieved throughput) with its first letter; because the network roof
+    lives on a second axis, each point's limiting factor is listed in the
+    legend instead (exactly the information Fig. 4 + Table II carry).
+    """
+    lo, hi = (math.log10(v) for v in oi_range)
+    grid = [[" "] * width for _ in range(height)]
+    y_max = math.log10(to_gflops(model.peak_flops) * 2.0)
+    y_min = y_max - 5.0  # five decades
+
+    def to_col(oi: float) -> int:
+        frac = (math.log10(oi) - lo) / (hi - lo)
+        return max(0, min(width - 1, int(round(frac * (width - 1)))))
+
+    def to_row(flops: float) -> int:
+        g = max(to_gflops(flops), 10**y_min)
+        frac = (math.log10(g) - y_min) / (y_max - y_min)
+        return max(0, min(height - 1, height - 1 - int(round(frac * (height - 1)))))
+
+    for col in range(width):
+        oi = 10 ** (lo + (hi - lo) * col / (width - 1))
+        roof = min(model.peak_flops, model.memory_bandwidth * oi)
+        grid[to_row(roof)][col] = "-" if roof >= model.peak_flops else "/"
+
+    legend: list[str] = []
+    for point in points or []:
+        row, col = to_row(point.throughput), to_col(point.operational_intensity)
+        marker = point.name[0].upper()
+        grid[row][col] = marker
+        legend.append(
+            f"  {marker} = {point.name}: OI={point.operational_intensity:.2f} "
+            f"NI={point.network_intensity:.2f} FLOP/B, "
+            f"{to_gflops(point.throughput):.2f} GFLOPS "
+            f"({point.percent_of_peak:.0f}% of peak, limit={point.limit.value})"
+        )
+
+    header = (
+        f"{model.name}: peak {to_gflops(model.peak_flops):.1f} GFLOPS | "
+        f"mem {model.memory_bandwidth / 1e9:.1f} GB/s | "
+        f"net {model.network_bandwidth * 8 / 1e9:.2f} Gb/s"
+    )
+    body = "\n".join("".join(row) for row in grid)
+    axis = f"{'':<2}OI: {10**lo:g} .. {10**hi:g} FLOP/B (log)"
+    return "\n".join([header, body, axis] + legend)
+
+
+def render_table2(points_by_network: dict[str, list[RooflinePoint]]) -> str:
+    """The Table II report: intensities, throughput, %peak, limit per NIC.
+
+    ``points_by_network`` maps a network label (e.g. ``"10G"``) to the
+    measured points of every benchmark under that network.
+    """
+    lines = [
+        f"{'benchmark':<12}{'network':<9}{'OI (F/B)':>10}{'NI (F/B)':>10}"
+        f"{'GFLOPS':>10}{'% peak':>8}  limit"
+    ]
+    for network in sorted(points_by_network):
+        for point in points_by_network[network]:
+            lines.append(
+                f"{point.name:<12}{network:<9}"
+                f"{point.operational_intensity:>10.2f}"
+                f"{point.network_intensity:>10.2f}"
+                f"{to_gflops(point.throughput):>10.2f}"
+                f"{point.percent_of_peak:>8.1f}  {point.limit.value}"
+            )
+    return "\n".join(lines)

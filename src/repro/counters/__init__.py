@@ -1,0 +1,20 @@
+"""ARMv8 PMUv3 counter modeling and collection.
+
+Only the twelve architecturally-defined PMUv3 events the paper restricts
+itself to are exposed — events with the same name can measure different
+phenomena across vendors (the paper cites this pitfall), so no
+vendor-specific counters appear here either.
+"""
+
+from repro.counters.pmu import PMU_V3_EVENTS, PMUEvent
+from repro.counters.collect import CounterReport, collect_counters, schedule_event_groups
+from repro.counters.metrics import derive_metrics
+
+__all__ = [
+    "CounterReport",
+    "PMUEvent",
+    "PMU_V3_EVENTS",
+    "collect_counters",
+    "derive_metrics",
+    "schedule_event_groups",
+]

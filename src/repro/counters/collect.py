@@ -1,0 +1,87 @@
+"""Multiplexing-free counter collection from job results.
+
+The paper collects "the same number of counters as actual available PMU
+registers on each run ... over many runs to avoid multiplexing".  We model
+that faithfully: events are split into register-sized groups, one (simulated)
+run per group, and the final report merges the groups.  The deterministic
+model makes repeat runs exact, but the grouping machinery is real and
+unit-tested so the methodology carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.cluster.job import JobResult, RankCounters
+from repro.counters.pmu import PMU_REGISTERS_PER_CORE, PMUEvent
+from repro.errors import AnalysisError
+
+
+def schedule_event_groups(
+    events: Sequence[PMUEvent],
+    registers: int = PMU_REGISTERS_PER_CORE,
+) -> list[tuple[PMUEvent, ...]]:
+    """Split *events* into register-sized groups (one run each)."""
+    if registers < 1:
+        raise AnalysisError("need at least one PMU register")
+    if len(set(events)) != len(events):
+        raise AnalysisError("duplicate events in collection request")
+    return [
+        tuple(events[i : i + registers]) for i in range(0, len(events), registers)
+    ]
+
+
+def _event_value(counters: RankCounters, event: PMUEvent) -> float:
+    mapping: dict[PMUEvent, float] = {
+        PMUEvent.CPU_CYCLES: counters.cycles,
+        PMUEvent.INST_RETIRED: counters.instructions,
+        PMUEvent.INST_SPEC: counters.instructions_speculative,
+        PMUEvent.BR_RETIRED: counters.branches,
+        PMUEvent.BR_MIS_PRED: counters.branch_mispredictions,
+        PMUEvent.MEM_ACCESS: counters.mem_ops,
+        PMUEvent.L1D_CACHE: counters.mem_ops,
+        PMUEvent.L1D_CACHE_REFILL: counters.l1d_misses,
+        PMUEvent.L2D_CACHE: counters.l2_accesses,
+        PMUEvent.L2D_CACHE_REFILL: counters.l2_misses,
+        PMUEvent.STALL_FRONTEND: counters.frontend_stall_cycles,
+        PMUEvent.STALL_BACKEND: counters.backend_stall_cycles,
+    }
+    return mapping[event]
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """Aggregated PMU event totals for one run of one system."""
+
+    values: dict[PMUEvent, float]
+    runs_used: int
+
+    def __getitem__(self, event: PMUEvent) -> float:
+        return self.values[event]
+
+    def __contains__(self, event: PMUEvent) -> bool:
+        return event in self.values
+
+
+def collect_counters(
+    run_factory: Callable[[], JobResult] | JobResult,
+    events: Iterable[PMUEvent],
+    registers: int = PMU_REGISTERS_PER_CORE,
+) -> CounterReport:
+    """Collect *events* from a job, one group of *registers* per run.
+
+    ``run_factory`` is either a callable that re-executes the job (one call
+    per counter group, like the paper's repeated measurement runs) or an
+    already-measured :class:`JobResult` reused for every group.
+    """
+    events = list(events)
+    groups = schedule_event_groups(events, registers)
+    values: dict[PMUEvent, float] = {}
+    runs = 0
+    for group in groups:
+        result = run_factory() if callable(run_factory) else run_factory
+        runs += 1
+        for event in group:
+            values[event] = sum(_event_value(c, event) for c in result.counters)
+    return CounterReport(values=values, runs_used=runs)

@@ -1,0 +1,58 @@
+"""Derived metrics from raw PMU events ("we added additional metrics, such
+as the miss ratios, using the collected raw events")."""
+
+from __future__ import annotations
+
+from repro.counters.collect import CounterReport
+from repro.counters.pmu import PMUEvent
+from repro.errors import AnalysisError
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den > 0 else 0.0
+
+
+def derive_metrics(report: CounterReport) -> dict[str, float]:
+    """The paper's analysis vocabulary: raw events plus derived ratios.
+
+    Keys match Fig. 8's labels where applicable (``BR_MIS_PRED``,
+    ``INST_SPEC``, ``LD_MISS_RATIO``).
+    """
+    required = (
+        PMUEvent.CPU_CYCLES,
+        PMUEvent.INST_RETIRED,
+        PMUEvent.INST_SPEC,
+        PMUEvent.BR_RETIRED,
+        PMUEvent.BR_MIS_PRED,
+        PMUEvent.L1D_CACHE,
+        PMUEvent.L1D_CACHE_REFILL,
+        PMUEvent.L2D_CACHE,
+        PMUEvent.L2D_CACHE_REFILL,
+    )
+    missing = [e for e in required if e not in report]
+    if missing:
+        raise AnalysisError(f"report is missing events: {[e.value for e in missing]}")
+
+    inst = report[PMUEvent.INST_RETIRED]
+    metrics = {
+        "CPU_CYCLES": report[PMUEvent.CPU_CYCLES],
+        "INST_RETIRED": inst,
+        "INST_SPEC": report[PMUEvent.INST_SPEC],
+        "BR_RETIRED": report[PMUEvent.BR_RETIRED],
+        "BR_MIS_PRED": report[PMUEvent.BR_MIS_PRED],
+        "IPC": _ratio(inst, report[PMUEvent.CPU_CYCLES]),
+        "BR_MIS_RATIO": _ratio(report[PMUEvent.BR_MIS_PRED], report[PMUEvent.BR_RETIRED]),
+        "SPEC_RATIO": _ratio(report[PMUEvent.INST_SPEC], inst),
+        "L1D_MISS_RATIO": _ratio(
+            report[PMUEvent.L1D_CACHE_REFILL], report[PMUEvent.L1D_CACHE]
+        ),
+        # Fig. 8's "LD_MISS_RATIO": the L2 (last-level) data miss ratio.
+        "LD_MISS_RATIO": _ratio(
+            report[PMUEvent.L2D_CACHE_REFILL], report[PMUEvent.L2D_CACHE]
+        ),
+    }
+    if PMUEvent.STALL_FRONTEND in report:
+        metrics["STALL_FRONTEND"] = report[PMUEvent.STALL_FRONTEND]
+    if PMUEvent.STALL_BACKEND in report:
+        metrics["STALL_BACKEND"] = report[PMUEvent.STALL_BACKEND]
+    return metrics

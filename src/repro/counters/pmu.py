@@ -1,0 +1,33 @@
+"""The ARMv8 PMUv3 architectural event set used by the paper."""
+
+from __future__ import annotations
+
+import enum
+
+
+class PMUEvent(enum.Enum):
+    """Twelve events defined by ARMv8 PMUv3 and present on both A57 and
+    ThunderX (the portable subset the paper collects)."""
+
+    CPU_CYCLES = "cpu-cycles"
+    INST_RETIRED = "inst-retired"
+    INST_SPEC = "inst-spec"
+    BR_RETIRED = "br-retired"
+    BR_MIS_PRED = "br-mis-pred"
+    MEM_ACCESS = "mem-access"
+    L1D_CACHE = "l1d-cache"
+    L1D_CACHE_REFILL = "l1d-cache-refill"
+    L2D_CACHE = "l2d-cache"
+    L2D_CACHE_REFILL = "l2d-cache-refill"
+    STALL_FRONTEND = "stall-frontend"
+    STALL_BACKEND = "stall-backend"
+
+
+#: The full portable event list, in collection order.
+PMU_V3_EVENTS: tuple[PMUEvent, ...] = tuple(PMUEvent)
+
+#: Physical PMU registers available per core on both microarchitectures
+#: (6 programmable counters on Cortex-A57; ThunderX exposes the same
+#: architectural minimum), so multiplexing-free collection needs
+#: ceil(12 / 6) = 2 separate runs.
+PMU_REGISTERS_PER_CORE = 6

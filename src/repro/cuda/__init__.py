@@ -1,0 +1,32 @@
+"""Simulated CUDA runtime.
+
+One :class:`CudaContext` per GPU-bearing node provides ``malloc`` /
+``memcpy`` / ``launch`` with the paper's three memory-management models
+(§II-B):
+
+* **host & device** — separate address spaces, explicit ``cudaMemcpy``;
+* **zero-copy** — device threads read host memory directly; on the TX1 this
+  bypasses the cache hierarchy to keep coherence (the paper's Table III
+  finding), collapsing L2 utilization and inflating memory stalls;
+* **unified memory** — managed pool with transparent migration, performing
+  like host & device while keeping the cache hierarchy live.
+
+An nvprof-style :class:`Profiler` accumulates per-kernel metrics.
+"""
+
+from repro.cuda.events import CopyRecord, KernelRecord, Profiler
+from repro.cuda.memory_models import MemoryModel, MemoryManager
+from repro.cuda.runtime import Buffer, CudaContext, KernelSpec
+from repro.cuda.stream import Stream
+
+__all__ = [
+    "Buffer",
+    "CopyRecord",
+    "CudaContext",
+    "KernelRecord",
+    "KernelSpec",
+    "MemoryManager",
+    "MemoryModel",
+    "Profiler",
+    "Stream",
+]

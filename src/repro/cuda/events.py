@@ -1,0 +1,108 @@
+"""nvprof-style profiling records and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One kernel launch as the profiler sees it."""
+
+    name: str
+    start: float
+    end: float
+    flops: float
+    dram_bytes: float
+    l2_utilization: float
+    l2_read_throughput: float  # bytes/s during the kernel
+    memory_stall_fraction: float
+
+    @property
+    def seconds(self) -> float:
+        """Kernel duration."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CopyRecord:
+    """One host<->device copy."""
+
+    kind: str  # "h2d" | "d2h" | "d2d" | "migration"
+    start: float
+    end: float
+    nbytes: float
+
+    @property
+    def seconds(self) -> float:
+        """Copy duration."""
+        return self.end - self.start
+
+
+@dataclass
+class Profiler:
+    """Collects kernel and copy records for one context."""
+
+    kernels: list[KernelRecord] = field(default_factory=list)
+    copies: list[CopyRecord] = field(default_factory=list)
+
+    def record_kernel(self, record: KernelRecord) -> None:
+        """Append a kernel record."""
+        self.kernels.append(record)
+
+    def record_copy(self, record: CopyRecord) -> None:
+        """Append a copy record."""
+        self.copies.append(record)
+
+    # -- aggregates (time-weighted over kernels) -------------------------------------
+
+    @property
+    def gpu_busy_seconds(self) -> float:
+        """Total kernel-execution time."""
+        return sum(k.seconds for k in self.kernels)
+
+    @property
+    def copy_seconds(self) -> float:
+        """Total copy time."""
+        return sum(c.seconds for c in self.copies)
+
+    @property
+    def copy_bytes(self) -> float:
+        """Total bytes moved by copies."""
+        return sum(c.nbytes for c in self.copies)
+
+    @property
+    def total_flops(self) -> float:
+        """Total FLOPs retired by kernels."""
+        return sum(k.flops for k in self.kernels)
+
+    @property
+    def total_dram_bytes(self) -> float:
+        """Total kernel DRAM traffic (operational-intensity denominator)."""
+        return sum(k.dram_bytes for k in self.kernels)
+
+    def mean_l2_utilization(self) -> float:
+        """Time-weighted mean L2 utilization across kernels."""
+        busy = self.gpu_busy_seconds
+        if busy == 0.0:
+            return 0.0
+        return sum(k.l2_utilization * k.seconds for k in self.kernels) / busy
+
+    def mean_l2_read_throughput(self) -> float:
+        """Time-weighted mean L2 read throughput (bytes/s)."""
+        busy = self.gpu_busy_seconds
+        if busy == 0.0:
+            return 0.0
+        return sum(k.l2_read_throughput * k.seconds for k in self.kernels) / busy
+
+    def mean_memory_stall_fraction(self) -> float:
+        """Time-weighted mean fraction of kernel time stalled on memory."""
+        busy = self.gpu_busy_seconds
+        if busy == 0.0:
+            return 0.0
+        return sum(k.memory_stall_fraction * k.seconds for k in self.kernels) / busy
+
+    def reset(self) -> None:
+        """Drop all records."""
+        self.kernels.clear()
+        self.copies.clear()

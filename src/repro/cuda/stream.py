@@ -1,0 +1,31 @@
+"""CUDA streams: per-stream serialization, cross-stream overlap."""
+
+from __future__ import annotations
+
+from repro.sim import Environment, Resource
+from repro.sim.resources import Request
+
+
+class Stream:
+    """Work items on one stream execute in order; streams overlap freely.
+
+    The copy engine and kernel engine are separate node resources, so a
+    two-stream pipeline overlaps one stream's copies with the other's kernels
+    — the latency-hiding pattern §II-B describes.
+    """
+
+    def __init__(self, env: Environment, name: str = "stream") -> None:
+        self.env = env
+        self.name = name
+        self._order = Resource(env, capacity=1)
+
+    def enter(self) -> Request:
+        """Claim the stream's in-order slot; yield the returned request."""
+        return self._order.request()
+
+    def leave(self, request: Request) -> None:
+        """Release the in-order slot claimed by :meth:`enter`."""
+        self._order.release(request)
+
+    def __repr__(self) -> str:
+        return f"<Stream {self.name}>"

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a hardware/cluster/workload configuration is invalid."""
+
+
+class CudaError(ReproError):
+    """Raised by the simulated CUDA runtime (bad handles, OOM, misuse)."""
+
+
+class MPIError(ReproError):
+    """Raised by the simulated MPI layer (bad ranks, mismatched buffers)."""
+
+
+class TraceError(ReproError):
+    """Raised when a trace is malformed or an analysis precondition fails."""
+
+
+class AnalysisError(ReproError):
+    """Raised by statistical analysis routines (PLS, fitting)."""

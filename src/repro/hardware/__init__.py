@@ -1,0 +1,39 @@
+"""Hardware models: CPUs, caches, GPUs, DRAM, NICs, nodes, and power.
+
+The models are *analytical-within-simulation*: hardware components expose
+closed-form cost functions (seconds, joules, bytes) that the discrete-event
+processes charge as they execute, plus contention through `repro.sim`
+resources where sharing matters (DRAM channels, NIC links, GPU engines).
+
+The catalog (`repro.hardware.catalog`) instantiates the three machines of the
+paper: the Jetson TX1 node, the dual-socket Cavium ThunderX server, and the
+GTX 980 + Xeon host used for the discrete-GPGPU comparison.
+"""
+
+from repro.hardware.cache import CacheLevel, CacheHierarchy
+from repro.hardware.cpu import CPUCoreSpec, CPUCoreModel, WorkloadCPUProfile
+from repro.hardware.gpu import GPUSpec, GPUKernelCost, GPUModel
+from repro.hardware.memory import DRAMSpec, DRAMModel
+from repro.hardware.nic import NICSpec
+from repro.hardware.node import NodeSpec, Node
+from repro.hardware.power import PowerSpec, PowerModel
+from repro.hardware import catalog
+
+__all__ = [
+    "CPUCoreModel",
+    "CPUCoreSpec",
+    "CacheHierarchy",
+    "CacheLevel",
+    "DRAMModel",
+    "DRAMSpec",
+    "GPUKernelCost",
+    "GPUModel",
+    "GPUSpec",
+    "NICSpec",
+    "Node",
+    "NodeSpec",
+    "PowerModel",
+    "PowerSpec",
+    "WorkloadCPUProfile",
+    "catalog",
+]

@@ -1,0 +1,157 @@
+"""Analytical GPU model (integrated TX1 Maxwell, discrete GTX 980).
+
+Kernel execution time is roofline-bounded::
+
+    t = max(flops / (efficiency * peak_flops),
+            dram_bytes / effective_memory_bandwidth)
+
+with the effective memory bandwidth degraded when the kernel bypasses the L2
+(the paper's zero-copy finding: on the TX1, zero-copy disables caching to keep
+coherence, collapsing L2 utilization and read throughput and inflating memory
+stalls).  The model also produces nvprof-style metrics (L2 utilization, L2
+read throughput, memory-stall fraction) so Table III can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPGPU."""
+
+    name: str
+    sm_count: int
+    cuda_cores: int
+    frequency_hz: float
+    l2_bytes: float
+    # Dedicated GDDR bandwidth for discrete cards; for integrated GPUs this is
+    # the GPU's share of the LPDDR4 bus measured with `stream`.
+    memory_bandwidth: float
+    # Maxwell retires 1/32 DP FLOP per SP lane per cycle.
+    dp_ratio: float = 1.0 / 32.0
+    # Fraction of DRAM traffic absorbed by L2 when caching is enabled.
+    l2_hit_fraction: float = 0.55
+    # Bandwidth penalty multiplier when the cache hierarchy is bypassed
+    # (zero-copy on TX1): uncoalesced, uncached word-granularity accesses.
+    bypass_bandwidth_factor: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.cuda_cores <= 0:
+            raise ConfigurationError(f"{self.name}: SM/core counts must be positive")
+        if self.frequency_hz <= 0 or self.memory_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: frequency/bandwidth must be positive")
+        if not 0.0 < self.dp_ratio <= 1.0:
+            raise ConfigurationError(f"{self.name}: dp_ratio must be in (0, 1]")
+        if not 0.0 <= self.l2_hit_fraction < 1.0:
+            raise ConfigurationError(f"{self.name}: l2_hit_fraction must be in [0, 1)")
+        if not 0.0 < self.bypass_bandwidth_factor <= 1.0:
+            raise ConfigurationError(f"{self.name}: bypass factor must be in (0, 1]")
+
+    @property
+    def peak_sp_flops(self) -> float:
+        """Peak single-precision FLOP/s (2 FLOP per core-cycle: FMA)."""
+        return 2.0 * self.cuda_cores * self.frequency_hz
+
+    @property
+    def peak_dp_flops(self) -> float:
+        """Peak double-precision FLOP/s."""
+        return self.peak_sp_flops * self.dp_ratio
+
+
+@dataclass(frozen=True)
+class GPUKernelCost:
+    """Outcome of one kernel launch on the model."""
+
+    seconds: float
+    flops: float
+    dram_bytes: float
+    compute_seconds: float
+    memory_seconds: float
+    l2_utilization: float
+    l2_read_throughput: float
+    memory_stall_fraction: float
+
+    @property
+    def achieved_flops(self) -> float:
+        """Sustained FLOP/s of the launch."""
+        return self.flops / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def memory_bound(self) -> bool:
+        """True if the memory roof, not the compute roof, set the time."""
+        return self.memory_seconds >= self.compute_seconds
+
+
+class GPUModel:
+    """Roofline-bounded kernel cost model with cache-bypass support."""
+
+    def __init__(self, spec: GPUSpec, sustained_efficiency: float = 0.70) -> None:
+        if not 0.0 < sustained_efficiency <= 1.0:
+            raise ConfigurationError("sustained_efficiency must be in (0, 1]")
+        self.spec = spec
+        self.sustained_efficiency = sustained_efficiency
+
+    def kernel_cost(
+        self,
+        flops: float,
+        dram_bytes: float,
+        *,
+        precision: str = "double",
+        bypass_cache: bool = False,
+    ) -> GPUKernelCost:
+        """Time and metrics for a kernel doing *flops* over *dram_bytes*.
+
+        ``dram_bytes`` is the kernel's DRAM-visible traffic under normal
+        caching; with ``bypass_cache`` the L2 filter disappears and every
+        access goes to memory at degraded bandwidth.
+        """
+        if flops < 0 or dram_bytes < 0:
+            raise ConfigurationError("flops/dram_bytes must be non-negative")
+        spec = self.spec
+        if precision == "double":
+            peak = spec.peak_dp_flops
+        elif precision == "single":
+            peak = spec.peak_sp_flops
+        else:
+            raise ConfigurationError(f"unknown precision {precision!r}")
+
+        compute_seconds = flops / (peak * self.sustained_efficiency) if flops else 0.0
+
+        if bypass_cache:
+            effective_bw = spec.memory_bandwidth * spec.bypass_bandwidth_factor
+            memory_traffic = dram_bytes / (1.0 - spec.l2_hit_fraction)
+            l2_utilization = 0.0
+            l2_read_throughput = 0.0
+        else:
+            effective_bw = spec.memory_bandwidth
+            memory_traffic = dram_bytes
+            l2_utilization = 1.0
+            # L2 absorbs l2_hit_fraction of the raw request stream; its read
+            # throughput is the hit traffic it serves.
+            l2_read_throughput = (
+                dram_bytes / (1.0 - spec.l2_hit_fraction) * spec.l2_hit_fraction
+            )
+
+        memory_seconds = memory_traffic / effective_bw if memory_traffic else 0.0
+        seconds = max(compute_seconds, memory_seconds)
+        if seconds > 0:
+            stall = max(0.0, memory_seconds - compute_seconds) / seconds
+        else:
+            stall = 0.0
+
+        if seconds > 0 and l2_read_throughput > 0:
+            l2_read_throughput /= seconds  # bytes -> bytes/s
+        return GPUKernelCost(
+            seconds=seconds,
+            flops=flops,
+            dram_bytes=dram_bytes,
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            l2_utilization=l2_utilization,
+            l2_read_throughput=l2_read_throughput,
+            memory_stall_fraction=stall,
+        )

@@ -1,0 +1,14 @@
+"""A simulated MPI: ranks as sim processes, messages over the fabric.
+
+The API mirrors mpi4py's lower-case object protocol (``send``/``recv``/
+``bcast``/``allreduce``...) but every call is a *generator* to be driven with
+``yield from`` inside a simulation process — communication costs simulated
+time on the fabric while real NumPy payloads move between ranks.
+
+Collectives use binomial-tree algorithms so their cost scales as
+``O(log P)`` rounds like a real MPI implementation.
+"""
+
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator, CommWorld, Message
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "CommWorld", "Communicator", "Message"]

@@ -1,0 +1,107 @@
+"""End-to-end transfers between nodes through a switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.node import Node
+from repro.network.switch import SwitchSpec
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """Timing breakdown of one completed transfer."""
+
+    src: int
+    dst: int
+    nbytes: float
+    start: float
+    end: float
+    queue_seconds: float
+    wire_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Total transfer duration including queueing."""
+        return self.end - self.start
+
+
+class Fabric:
+    """A star topology: every node hangs off one switch.
+
+    Intra-node transfers short-circuit through DRAM (loopback).  The switch's
+    bisection bandwidth throttles per-flow rate when the number of concurrent
+    flows oversubscribes it.
+    """
+
+    def __init__(self, env: Environment, switch: SwitchSpec) -> None:
+        self.env = env
+        self.switch = switch
+        self.nodes: dict[int, Node] = {}
+        self.total_bytes = 0.0
+        self.total_transfers = 0
+        self._active_flows = 0
+
+    def attach(self, node: Node) -> None:
+        """Register *node* on the fabric."""
+        if node.node_id in self.nodes:
+            raise ConfigurationError(f"node id {node.node_id} already attached")
+        self.nodes[node.node_id] = node
+
+    def _flow_rate(self, src: Node, dst: Node) -> float:
+        """Effective bytes/s for one flow given current fabric load."""
+        endpoint = min(src.nic.achievable_rate, dst.nic.achievable_rate)
+        flows = max(1, self._active_flows)
+        fair_share = self.switch.bisection_bandwidth / flows
+        return min(endpoint, fair_share)
+
+    def transfer(self, src_id: int, dst_id: int, nbytes: float):
+        """Generator process moving *nbytes* from ``src_id`` to ``dst_id``.
+
+        Returns a :class:`TransferRecord`; charge it with
+        ``record = yield from fabric.transfer(...)`` inside a sim process.
+        """
+        if nbytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        try:
+            src = self.nodes[src_id]
+            dst = self.nodes[dst_id]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown node id {exc.args[0]}") from None
+        env = self.env
+        start = env.now
+
+        if src_id == dst_id:
+            # Loopback: a memory-to-memory copy, no NIC involvement.
+            wire = 2.0 * nbytes / src.dram.spec.cpu_bandwidth
+            yield env.timeout(wire)
+            return TransferRecord(src_id, dst_id, nbytes, start, env.now, 0.0, wire)
+
+        tx_req = src.nic_tx.request()
+        rx_req = dst.nic_rx.request()
+        yield env.all_of([tx_req, rx_req])
+        queued = env.now - start
+        try:
+            self._active_flows += 1
+            rate = self._flow_rate(src, dst)
+            latency = src.nic.latency_one_way + self.switch.latency
+            wire = latency + (nbytes / rate if nbytes else 0.0)
+            yield env.timeout(wire)
+        finally:
+            self._active_flows -= 1
+            src.nic_tx.release(tx_req)
+            dst.nic_rx.release(rx_req)
+
+        src.record_send(nbytes)
+        dst.record_receive(nbytes)
+        self.total_bytes += nbytes
+        self.total_transfers += 1
+        return TransferRecord(src_id, dst_id, nbytes, start, env.now, queued, wire)
+
+    def average_traffic_rate(self, elapsed_seconds: float) -> float:
+        """Mean fabric throughput over a run (Fig. 3's network-traffic axis)."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.total_bytes / elapsed_seconds

@@ -1,0 +1,33 @@
+"""Switch model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """Static description of a switch.
+
+    ``bisection_bandwidth`` caps the aggregate traffic the fabric can carry;
+    ``latency`` is the port-to-port forwarding delay.
+    """
+
+    name: str
+    bisection_bandwidth: float  # bytes/s
+    latency: float  # seconds
+    power_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bisection_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: bisection bandwidth must be positive")
+        if self.latency < 0 or self.power_watts < 0:
+            raise ConfigurationError(f"{self.name}: latency/power must be non-negative")
+
+    @classmethod
+    def from_catalog(cls, entry: tuple[str, float, float, float]) -> "SwitchSpec":
+        """Build from a ``repro.hardware.catalog`` switch tuple."""
+        name, bw, latency, power = entry
+        return cls(name=name, bisection_bandwidth=bw, latency=latency, power_watts=power)

@@ -1,0 +1,25 @@
+"""DIMEMAS-style trace replay under configurable networks.
+
+Replaying a measured trace with different network parameters answers the
+paper's what-if questions: the *ideal network* (zero latency, unlimited
+bandwidth) isolates serialization from transfer cost, and the *ideal load
+balance* transform rescales each rank's compute so all ranks carry the
+average load.
+"""
+
+from repro.replay.dimemas import IDEAL_NETWORK, NetworkParams, ReplayResult, replay
+from repro.replay.scenarios import (
+    ideal_load_balance_runtime,
+    ideal_network_runtime,
+    network_from_nic,
+)
+
+__all__ = [
+    "IDEAL_NETWORK",
+    "NetworkParams",
+    "ReplayResult",
+    "ideal_load_balance_runtime",
+    "ideal_network_runtime",
+    "network_from_nic",
+    "replay",
+]

@@ -1,0 +1,41 @@
+"""Canned replay scenarios: ideal network, ideal load balance."""
+
+from __future__ import annotations
+
+from repro.hardware.nic import NICSpec
+from repro.network.switch import SwitchSpec
+from repro.replay.dimemas import IDEAL_NETWORK, NetworkParams, replay
+from repro.tracing.events import Trace
+from repro.units import gbyte_s
+
+
+def network_from_nic(nic: NICSpec, switch: SwitchSpec,
+                     local_bandwidth: float = gbyte_s(7.0)) -> NetworkParams:
+    """Replay parameters matching a real NIC + switch pair."""
+    return NetworkParams(
+        latency=nic.latency_one_way + switch.latency,
+        bandwidth=nic.achievable_rate,
+        local_bandwidth=local_bandwidth,
+    )
+
+
+def ideal_network_runtime(trace: Trace, rank_to_node: list[int] | None = None) -> float:
+    """Runtime with zero latency and unlimited bandwidth (DIMEMAS ideal)."""
+    return replay(trace, IDEAL_NETWORK, rank_to_node=rank_to_node).runtime
+
+
+def ideal_load_balance_runtime(
+    trace: Trace,
+    network: NetworkParams,
+    rank_to_node: list[int] | None = None,
+) -> float:
+    """Runtime with every rank carrying the average compute load.
+
+    As in the paper, the measured network (not the ideal one) is used so the
+    two effects are studied in isolation: pass the network that produced the
+    trace.
+    """
+    compute = trace.compute_seconds_all()
+    avg = sum(compute) / len(compute)
+    scale = [avg / c if c > 0 else 1.0 for c in compute]
+    return replay(trace, network, compute_scale=scale, rank_to_node=rank_to_node).runtime

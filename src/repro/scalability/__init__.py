@@ -1,0 +1,18 @@
+"""Strong-scaling analysis: η = LB · Ser · Trf and model extrapolation.
+
+Implements the decomposition the paper takes from Rosas et al. (the BSC/POP
+efficiency metrics): load balance, serialization, and transfer efficiency,
+computed from a trace plus its ideal-network replay, and a scalability-model
+fit used to extrapolate measured speedups to large node counts.
+"""
+
+from repro.scalability.efficiency import EfficiencyBreakdown, parallel_efficiency
+from repro.scalability.extrapolate import ScalingFit, fit_usl, r_squared
+
+__all__ = [
+    "EfficiencyBreakdown",
+    "ScalingFit",
+    "fit_usl",
+    "parallel_efficiency",
+    "r_squared",
+]

@@ -1,0 +1,72 @@
+"""The η = LB · Ser · Trf parallel-efficiency decomposition (Eq. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.replay import ideal_network_runtime
+from repro.tracing.events import Trace
+
+
+@dataclass(frozen=True)
+class EfficiencyBreakdown:
+    """The three factors of parallel efficiency for one run.
+
+    * ``load_balance`` — LB = mean(compute) / max(compute); < 1 when some
+      ranks carry more work.
+    * ``serialization`` — Ser = max(compute) / T_ideal; < 1 when dependency
+      chains leave ranks waiting even on a perfect network (for the
+      GPGPU-accelerated codes this also absorbs host<->device
+      synchronization, the paper's explanation for the tealeaf family).
+    * ``transfer`` — Trf = T_ideal / T_measured; < 1 when real network
+      latency/bandwidth stretches the run.
+
+    The product equals mean(compute) / T_measured, i.e. overall parallel
+    efficiency η.
+    """
+
+    load_balance: float
+    serialization: float
+    transfer: float
+    runtime: float
+    ideal_runtime: float
+
+    @property
+    def efficiency(self) -> float:
+        """η = LB · Ser · Trf."""
+        return self.load_balance * self.serialization * self.transfer
+
+
+def parallel_efficiency(
+    trace: Trace,
+    rank_to_node: list[int] | None = None,
+    ideal_runtime: float | None = None,
+) -> EfficiencyBreakdown:
+    """Decompose a trace's parallel efficiency.
+
+    ``ideal_runtime`` may be supplied to avoid re-running the replay when the
+    caller already has it.
+    """
+    compute = trace.compute_seconds_all()
+    if not any(c > 0 for c in compute):
+        raise TraceError("trace contains no compute time")
+    runtime = trace.duration
+    if runtime <= 0:
+        raise TraceError("trace has no duration")
+    if ideal_runtime is None:
+        ideal_runtime = ideal_network_runtime(trace, rank_to_node=rank_to_node)
+    ideal_runtime = max(ideal_runtime, 1e-12)
+
+    mean_c = sum(compute) / len(compute)
+    max_c = max(compute)
+    lb = mean_c / max_c if max_c > 0 else 1.0
+    ser = min(1.0, max_c / ideal_runtime)
+    trf = min(1.0, ideal_runtime / runtime)
+    return EfficiencyBreakdown(
+        load_balance=lb,
+        serialization=ser,
+        transfer=trf,
+        runtime=runtime,
+        ideal_runtime=ideal_runtime,
+    )

@@ -1,0 +1,34 @@
+"""A compact discrete-event simulation kernel (SimPy-flavoured).
+
+Every substrate in this reproduction — network links, DRAM channels, GPU
+engines, MPI ranks — is a generator-based :class:`Process` scheduled by an
+:class:`Environment`.  The kernel supports timeouts, one-shot events,
+``AllOf``/``AnyOf`` conditions, process interrupts, and the three classic
+shared-resource primitives (:class:`Resource`, :class:`Container`,
+:class:`Store`).
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,25 @@
+"""Extrae-like tracing: states, communications, and phase markers.
+
+A :class:`Tracer` is handed to a :class:`~repro.cluster.job.Job`; workloads
+and the MPI layer record into it.  The finished :class:`Trace` feeds the
+Paraver-style chopping (`repro.tracing.paraver`) and the DIMEMAS-style
+replay (`repro.replay`).
+"""
+
+from repro.tracing.events import CommRecord, MarkerRecord, RecvRecord, StateRecord, Trace
+from repro.tracing.tracer import Tracer
+from repro.tracing.paraver import chop_iterations, chop_window
+from repro.tracing.timeline import render_timeline, utilization_summary
+
+__all__ = [
+    "CommRecord",
+    "MarkerRecord",
+    "RecvRecord",
+    "StateRecord",
+    "Trace",
+    "Tracer",
+    "chop_iterations",
+    "chop_window",
+    "render_timeline",
+    "utilization_summary",
+]

@@ -1,0 +1,52 @@
+"""Paraver-style trace chopping.
+
+The paper chops iterative benchmarks' traces into single-iteration windows
+(PARAVER) before feeding them to DIMEMAS.  We reproduce that with marker-
+based chopping: workloads emit ``iteration`` markers on rank 0; the space
+between consecutive markers is one iteration window.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.tracing.events import Trace
+
+
+def chop_window(trace: Trace, t0: float, t1: float) -> Trace:
+    """A sub-trace containing records overlapping [t0, t1], clipped.
+
+    States are clipped to the window; comms/recvs are kept if they *start*
+    inside it (the replay engine re-times them anyway).
+    """
+    if t1 <= t0:
+        raise TraceError(f"empty window [{t0}, {t1}]")
+    states = [
+        type(s)(s.rank, s.state, max(s.start, t0), min(s.end, t1))
+        for s in trace.states
+        if s.end > t0 and s.start < t1
+    ]
+    comms = [c for c in trace.comms if t0 <= c.start < t1]
+    recvs = [r for r in trace.recvs if t0 <= r.start < t1]
+    markers = [m for m in trace.markers if t0 <= m.time < t1]
+    return Trace(
+        n_ranks=trace.n_ranks,
+        states=states,
+        comms=comms,
+        recvs=recvs,
+        markers=markers,
+        t_start=t0,
+        t_end=t1,
+    )
+
+
+def chop_iterations(trace: Trace, label: str = "iteration", rank: int = 0) -> list[Trace]:
+    """Split into per-iteration windows between *rank*'s markers.
+
+    The paper uses the whole trace as a single phase for hpl (no markers) —
+    callers get that behaviour by simply not emitting markers, in which case
+    this returns the full trace as one window.
+    """
+    times = sorted(m.time for m in trace.markers if m.label == label and m.rank == rank)
+    if len(times) < 2:
+        return [trace]
+    return [chop_window(trace, t0, t1) for t0, t1 in zip(times[:-1], times[1:])]

@@ -1,0 +1,81 @@
+"""The live trace collector handed to jobs."""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.tracing.events import (
+    CommRecord,
+    MarkerRecord,
+    RecvRecord,
+    StateRecord,
+    Trace,
+)
+
+
+class Tracer:
+    """Collects state/comm/marker records during a run.
+
+    The MPI layer calls :meth:`record_comm` / :meth:`record_recv`; rank
+    contexts call :meth:`record_state`; workloads call :meth:`mark` at
+    iteration boundaries so Paraver-style chopping can find them.
+    """
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise TraceError("tracer needs at least one rank")
+        self.n_ranks = n_ranks
+        self._states: list[StateRecord] = []
+        self._comms: list[CommRecord] = []
+        self._recvs: list[RecvRecord] = []
+        self._markers: list[MarkerRecord] = []
+
+    def record_state(self, rank: int, state: str, start: float, end: float) -> None:
+        """One compute/GPU burst on *rank*."""
+        self._check_rank(rank)
+        if end < start:
+            raise TraceError(f"state ends before it starts: {start} > {end}")
+        self._states.append(StateRecord(rank, state, start, end))
+
+    def record_comm(
+        self, src: int, dst: int, nbytes: float, start: float, end: float, tag: int
+    ) -> None:
+        """One send from *src* to *dst* (called by the MPI layer)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        self._comms.append(CommRecord(src, dst, nbytes, start, end, tag))
+
+    def record_recv(
+        self, rank: int, src: int, nbytes: float, start: float, end: float, tag: int
+    ) -> None:
+        """One completed receive on *rank* from *src*."""
+        self._check_rank(rank)
+        self._recvs.append(RecvRecord(rank, src, nbytes, start, end, tag))
+
+    def mark(self, rank: int, label: str, time: float) -> None:
+        """A phase/iteration boundary."""
+        self._check_rank(rank)
+        self._markers.append(MarkerRecord(rank, label, time))
+
+    def finalize(self, t_start: float = 0.0, t_end: float | None = None) -> Trace:
+        """Freeze into a :class:`Trace`; *t_end* defaults to the last record."""
+        if t_end is None:
+            candidates = (
+                [s.end for s in self._states]
+                + [c.end for c in self._comms]
+                + [r.end for r in self._recvs]
+                + [m.time for m in self._markers]
+            )
+            t_end = max(candidates, default=t_start)
+        return Trace(
+            n_ranks=self.n_ranks,
+            states=list(self._states),
+            comms=list(self._comms),
+            recvs=list(self._recvs),
+            markers=list(self._markers),
+            t_start=t_start,
+            t_end=t_end,
+        )
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise TraceError(f"rank {rank} outside [0, {self.n_ranks})")

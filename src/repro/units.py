@@ -1,0 +1,111 @@
+"""Unit helpers and conversions used throughout the simulator.
+
+All simulated time is in **seconds**, data sizes in **bytes**, bandwidths in
+**bytes/second**, power in **watts**, energy in **joules**, and compute
+throughput in **FLOP/s** unless a name says otherwise.  These helpers exist so
+call sites read like the paper ("10 GbE", "25.6 GB/s", "512 GFLOPS") instead
+of raw exponents.
+"""
+
+from __future__ import annotations
+
+# -- data sizes -------------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# Decimal variants, used for bandwidth-style quantities where vendors and the
+# paper use powers of ten.
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+
+def kib(n: float) -> float:
+    """*n* kibibytes in bytes."""
+    return n * KB
+
+
+def mib(n: float) -> float:
+    """*n* mebibytes in bytes."""
+    return n * MB
+
+
+def gib(n: float) -> float:
+    """*n* gibibytes in bytes."""
+    return n * GB
+
+
+# -- bandwidth ---------------------------------------------------------------
+
+
+def gbit_s(n: float) -> float:
+    """*n* gigabits/second expressed in bytes/second."""
+    return n * GIGA / 8.0
+
+
+def gbyte_s(n: float) -> float:
+    """*n* gigabytes/second (decimal) expressed in bytes/second."""
+    return n * GIGA
+
+
+def to_gbit_s(bytes_per_s: float) -> float:
+    """Convert bytes/second to gigabits/second."""
+    return bytes_per_s * 8.0 / GIGA
+
+
+def to_gbyte_s(bytes_per_s: float) -> float:
+    """Convert bytes/second to gigabytes/second (decimal)."""
+    return bytes_per_s / GIGA
+
+
+# -- compute ------------------------------------------------------------------
+
+
+def gflops(n: float) -> float:
+    """*n* GFLOP/s expressed in FLOP/s."""
+    return n * GIGA
+
+
+def to_gflops(flops_per_s: float) -> float:
+    """Convert FLOP/s to GFLOP/s."""
+    return flops_per_s / GIGA
+
+
+def mflops_per_watt(flops_per_s: float, watts: float) -> float:
+    """The paper's energy-efficiency metric: MFLOPS per watt."""
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive, got {watts}")
+    return (flops_per_s / MEGA) / watts
+
+
+# -- time ----------------------------------------------------------------------
+
+
+def ms(n: float) -> float:
+    """*n* milliseconds in seconds."""
+    return n * 1e-3
+
+
+def us(n: float) -> float:
+    """*n* microseconds in seconds."""
+    return n * 1e-6
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+# -- frequency -------------------------------------------------------------------
+
+
+def ghz(n: float) -> float:
+    """*n* GHz in Hz."""
+    return n * GIGA
+
+
+def mhz(n: float) -> float:
+    """*n* MHz in Hz."""
+    return n * MEGA

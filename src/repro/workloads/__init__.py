@@ -1,0 +1,88 @@
+"""ClusterSoCBench + NPB: the paper's workload suite (Table I).
+
+GPGPU-accelerated (MPI+CUDA):
+
+========== ==========================================================
+hpl        High-Performance Linpack, blocked LU            (`HplWorkload`)
+jacobi     2-D Poisson solver                              (`JacobiWorkload`)
+cloverleaf compressible Euler equations                    (`CloverLeafWorkload`)
+tealeaf2d  2-D linear heat conduction (CG)                 (`TeaLeaf2DWorkload`)
+tealeaf3d  3-D linear heat conduction (CG)                 (`TeaLeaf3DWorkload`)
+alexnet    Caffe AlexNet ImageNet classification           (`ImageClassificationWorkload`)
+googlenet  Caffe GoogLeNet ImageNet classification         (`ImageClassificationWorkload`)
+========== ==========================================================
+
+CPU (NAS Parallel Benchmarks, class C): bt cg ep ft is lu mg sp via
+:func:`repro.workloads.npb.npb_workload`.
+
+:func:`gpgpu_workload` / :func:`make_workload` build instances by tag.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import GpuIterativeWorkload, Workload, block_partition
+from repro.workloads.caffe import ImageClassificationWorkload, network_spec
+from repro.workloads.cloverleaf import CloverLeafWorkload
+from repro.workloads.hpl import HplCollocatedWorkload, HplWorkload
+from repro.workloads.jacobi import JacobiWorkload
+from repro.workloads.npb import NPB_SPECS, npb_workload
+from repro.workloads.tealeaf import TeaLeaf2DWorkload, TeaLeaf3DWorkload
+
+#: The paper's GPGPU-accelerated set (Table I order).
+GPGPU_NAMES = (
+    "hpl", "cloverleaf", "tealeaf2d", "tealeaf3d", "jacobi", "alexnet", "googlenet"
+)
+#: The NPB suite.
+NPB_NAMES = tuple(sorted(NPB_SPECS))
+#: Everything.
+ALL_NAMES = GPGPU_NAMES + NPB_NAMES
+
+
+def gpgpu_workload(name: str, **kwargs) -> Workload:
+    """Factory for the GPGPU-accelerated benchmarks."""
+    factories = {
+        "hpl": HplWorkload,
+        "jacobi": JacobiWorkload,
+        "cloverleaf": CloverLeafWorkload,
+        "tealeaf2d": TeaLeaf2DWorkload,
+        "tealeaf3d": TeaLeaf3DWorkload,
+        "alexnet": lambda **kw: ImageClassificationWorkload(network="alexnet", **kw),
+        "googlenet": lambda **kw: ImageClassificationWorkload(network="googlenet", **kw),
+    }
+    try:
+        return factories[name](**kwargs)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown GPGPU workload {name!r}; choose from {GPGPU_NAMES}"
+        ) from None
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Factory for any benchmark tag in :data:`ALL_NAMES`."""
+    if name in GPGPU_NAMES:
+        return gpgpu_workload(name, **kwargs)
+    if name in NPB_SPECS:
+        return npb_workload(name)
+    raise ConfigurationError(f"unknown workload {name!r}; choose from {ALL_NAMES}")
+
+
+__all__ = [
+    "ALL_NAMES",
+    "CloverLeafWorkload",
+    "GPGPU_NAMES",
+    "GpuIterativeWorkload",
+    "HplCollocatedWorkload",
+    "HplWorkload",
+    "ImageClassificationWorkload",
+    "JacobiWorkload",
+    "NPB_NAMES",
+    "TeaLeaf2DWorkload",
+    "TeaLeaf3DWorkload",
+    "Workload",
+    "block_partition",
+    "gpgpu_workload",
+    "make_workload",
+    "network_spec",
+    "npb_workload",
+]

@@ -1,0 +1,68 @@
+"""The cloverleaf benchmark: compressible Euler equations (Table I).
+
+CloverLeaf is an explicit hydrodynamics code: every timestep sweeps ~15
+field arrays through advection/PdV/flux kernels on the GPGPU, exchanges
+multi-field halos, and runs a single timestep-control reduction.  It is
+heavier per point than the heat codes but communicates moderately, so the
+paper finds little benefit from 10 GbE and poor strong scaling.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import WorkloadCPUProfile
+from repro.units import mib
+from repro.workloads.base import GpuIterativeWorkload, block_partition
+
+_PROFILE = WorkloadCPUProfile(
+    name="cloverleaf",
+    branch_fraction=0.14,
+    branch_entropy=0.22,
+    memory_fraction=0.33,
+    working_set_per_rank_bytes=mib(3),
+    flops_per_instruction=0.6,
+)
+
+
+class CloverLeafWorkload(GpuIterativeWorkload):
+    """Explicit 2-D Euler solver; paper input 3840^2-class cells."""
+
+    name = "cloverleaf"
+    #: CloverLeaf's driver does more per-step host work (field bookkeeping).
+    host_instructions_per_iteration = 8.0e5
+    #: ~25 kernels per hydro step, each with launch + field staging sync.
+    driver_overhead_seconds_per_iteration = 6.0e-3
+
+    def __init__(self, n: int = 3840, steps: int = 80, halo_fields: int = 4,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.n = n
+        self.steps = steps
+        self.halo_fields = halo_fields
+
+    @property
+    def cpu_profile(self) -> WorkloadCPUProfile:
+        return _PROFILE
+
+    def iterations(self) -> int:
+        return self.steps
+
+    def _points(self, size: int, rank: int) -> float:
+        return float(block_partition(self.n, size, rank) * self.n)
+
+    def local_bytes(self, size: int, rank: int) -> float:
+        # ~15 field arrays of doubles (density, energy, pressure, velocities,
+        # fluxes, work arrays).
+        return 15.0 * 8.0 * self._points(size, rank)
+
+    def kernel_flops(self, size: int, rank: int) -> float:
+        # Advection + PdV + acceleration + flux kernels per step.
+        return 150.0 * self._points(size, rank)
+
+    def kernel_dram_bytes(self, size: int, rank: int) -> float:
+        return 180.0 * self._points(size, rank)
+
+    def halo_bytes(self, size: int, rank: int) -> float:
+        return self.halo_fields * 8.0 * self.n * 2.0  # two-deep halos
+
+    def reductions_per_iteration(self) -> int:
+        return 1  # dt control

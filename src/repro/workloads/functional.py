@@ -1,0 +1,336 @@
+"""Functional distributed algorithms: real numerics over the simulated MPI.
+
+The workload classes in this package charge *costs* for paper-scale inputs;
+the kernels in `repro.workloads.kernels` validate the *numerics* serially.
+This module closes the loop: validation-scale problems executed as genuine
+SPMD programs — real NumPy halo rows, partial dot products, and transposed
+blocks moving through the simulated fabric — whose results are bit-checked
+against the serial kernels by the test suite.
+
+* :func:`distributed_jacobi` — row-block Poisson solver with real halo
+  exchange and a convergence allreduce.
+* :func:`distributed_cg` — conjugate gradient with allreduce'd dot products
+  (tealeaf's and NPB cg's solver skeleton).
+* :func:`distributed_transpose_fft` — FT's axis-pass + all-to-all transpose
+  dataflow on a real 3-D array.
+* :func:`distributed_bucket_sort` — IS's histogram + all-to-all key
+  exchange on real integer keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.errors import ConfigurationError
+
+
+def _run_spmd(cluster: Cluster, program) -> list:
+    """Run an SPMD generator on every rank (1/node) and return rank values."""
+    job = Job(cluster, ranks_per_node=1)
+    return job.run(program).rank_values
+
+
+# ---------------------------------------------------------------------------
+# Jacobi / Poisson
+# ---------------------------------------------------------------------------
+
+
+def distributed_jacobi(
+    cluster: Cluster,
+    f: np.ndarray,
+    iterations: int,
+) -> np.ndarray:
+    """Run *iterations* Jacobi sweeps for -∇²u = f across the cluster.
+
+    The grid is split into row blocks (one per node); each iteration
+    exchanges single-row halos with the neighbours and sweeps locally.
+    Returns the assembled solution grid.
+    """
+    n = f.shape[0]
+    size = cluster.node_count
+    if f.ndim != 2 or f.shape[1] != n:
+        raise ConfigurationError("f must be a square grid")
+    if n < 3 * size:
+        raise ConfigurationError(f"grid of {n} rows is too small for {size} ranks")
+    h2 = (1.0 / (n - 1)) ** 2
+    bounds = np.linspace(0, n, size + 1).astype(int)
+
+    def program(ctx):
+        rank = ctx.rank
+        lo, hi = bounds[rank], bounds[rank + 1]
+        # Local block with one ghost row on interior sides.
+        u = np.zeros((hi - lo, n))
+        f_local = f[lo:hi].copy()
+        up, down = rank - 1, rank + 1
+        for _ in range(iterations):
+            ghost_top = np.zeros(n)
+            ghost_bottom = np.zeros(n)
+            if size > 1:
+                # Shift exchange: send my boundary rows, receive ghosts.
+                if up >= 0:
+                    send_up = ctx.comm.isend(u[0].copy(), up, tag=11)
+                else:
+                    send_up = None
+                if down < size:
+                    send_down = ctx.comm.isend(u[-1].copy(), down, tag=12)
+                else:
+                    send_down = None
+                if down < size:
+                    ghost_bottom = yield from ctx.comm.recv(source=down, tag=11)
+                if up >= 0:
+                    ghost_top = yield from ctx.comm.recv(source=up, tag=12)
+                if send_up is not None:
+                    yield send_up
+                if send_down is not None:
+                    yield send_down
+            padded = np.vstack([ghost_top, u, ghost_bottom])
+            new = 0.25 * (
+                padded[:-2, :]
+                + padded[2:, :]
+                + np.roll(padded[1:-1, :], 1, axis=1)
+                + np.roll(padded[1:-1, :], -1, axis=1)
+                + h2 * f_local
+            )
+            # Dirichlet boundary: zero on all four edges of the global grid.
+            new[:, 0] = 0.0
+            new[:, -1] = 0.0
+            if rank == 0:
+                new[0, :] = 0.0
+            if rank == size - 1:
+                new[-1, :] = 0.0
+            delta = float(np.max(np.abs(new - u))) if u.size else 0.0
+            u = new
+            # The convergence allreduce the workload model charges for.
+            yield from ctx.comm.allreduce(delta, op=max)
+        gathered = yield from ctx.comm.gather(u, root=0)
+        if rank == 0:
+            return np.vstack(gathered)
+        return None
+
+    values = _run_spmd(cluster, program)
+    return values[0]
+
+
+# ---------------------------------------------------------------------------
+# Conjugate gradient
+# ---------------------------------------------------------------------------
+
+
+def distributed_cg(
+    cluster: Cluster,
+    a: np.ndarray,
+    b: np.ndarray,
+    iterations: int,
+) -> np.ndarray:
+    """CG on a dense SPD system with row-block matvecs.
+
+    Each rank owns a row block of A; the search vector is allgathered each
+    iteration (the halo analogue) and both dot products are allreduces —
+    exactly the comm skeleton the tealeaf/cg workload models charge.
+    """
+    n = b.shape[0]
+    size = cluster.node_count
+    if a.shape != (n, n):
+        raise ConfigurationError("A must be square and match b")
+    bounds = np.linspace(0, n, size + 1).astype(int)
+
+    def program(ctx):
+        rank = ctx.rank
+        lo, hi = bounds[rank], bounds[rank + 1]
+        a_local = a[lo:hi]
+        x = np.zeros(n)
+        r_local = b[lo:hi].copy()
+        p = np.zeros(n)
+        p[lo:hi] = r_local
+        p_parts = yield from ctx.comm.allgather(r_local)
+        p = np.concatenate(p_parts)
+        rr = yield from ctx.comm.allreduce(float(r_local @ r_local))
+        for _ in range(iterations):
+            ap_local = a_local @ p
+            p_ap = yield from ctx.comm.allreduce(float(p[lo:hi] @ ap_local))
+            if p_ap == 0.0:
+                break
+            alpha = rr / p_ap
+            x[lo:hi] = x[lo:hi] + alpha * p[lo:hi]
+            r_local = r_local - alpha * ap_local
+            rr_new = yield from ctx.comm.allreduce(float(r_local @ r_local))
+            beta = rr_new / rr
+            rr = rr_new
+            p_local = r_local + beta * p[lo:hi]
+            parts = yield from ctx.comm.allgather(p_local)
+            p = np.concatenate(parts)
+        x_parts = yield from ctx.comm.gather(x[lo:hi], root=0)
+        if rank == 0:
+            return np.concatenate(x_parts)
+        return None
+
+    return _run_spmd(cluster, program)[0]
+
+
+# ---------------------------------------------------------------------------
+# FT-style transpose FFT
+# ---------------------------------------------------------------------------
+
+
+def distributed_transpose_fft(cluster: Cluster, x: np.ndarray) -> np.ndarray:
+    """3-D FFT with FT's dataflow: local axis passes + an all-to-all
+    transpose to make the distributed axis local for the final pass."""
+    size = cluster.node_count
+    n0 = x.shape[0]
+    if x.ndim != 3:
+        raise ConfigurationError("x must be 3-D")
+    if n0 % size != 0:
+        raise ConfigurationError(f"leading axis {n0} must divide by {size} ranks")
+    slab = n0 // size
+
+    def program(ctx):
+        rank = ctx.rank
+        local = x[rank * slab : (rank + 1) * slab].astype(complex)
+        # Passes over the two locally-complete axes.
+        local = np.fft.fft(local, axis=2)
+        local = np.fft.fft(local, axis=1)
+        # All-to-all transpose: block (i, j) goes from rank i to rank j.
+        blocks = [
+            np.ascontiguousarray(local[:, j * slab : (j + 1) * slab, :])
+            for j in range(size)
+        ]
+        received = yield from ctx.comm.alltoall(blocks)
+        # Rebuild with axis 0 fully local (concatenate senders' slabs).
+        assembled = np.concatenate(received, axis=0)  # (n0, slab, n2)
+        assembled = np.fft.fft(assembled, axis=0)
+        gathered = yield from ctx.comm.gather(assembled, root=0)
+        if rank == 0:
+            return np.concatenate(gathered, axis=1)
+        return None
+
+    return _run_spmd(cluster, program)[0]
+
+
+# ---------------------------------------------------------------------------
+# HPL-style distributed LU
+# ---------------------------------------------------------------------------
+
+
+def distributed_lu(
+    cluster: Cluster,
+    a: np.ndarray,
+    nb: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Blocked LU with partial pivoting over block-cyclic column panels.
+
+    Panel *k* lives on rank ``k % P`` (every rank holds full rows of its
+    column panels, as in HPL's 1-D column-cyclic layout).  The owner
+    factorizes its panel, broadcasts pivots + the L panel, and every rank
+    swap-updates and trailing-updates its own panels — the exact dataflow
+    the `HplWorkload` cost model charges.  Returns ``(lu, piv)`` identical
+    to :func:`repro.workloads.kernels.blocked_lu`.
+    """
+    n = a.shape[0]
+    size = cluster.node_count
+    if a.ndim != 2 or a.shape[1] != n:
+        raise ConfigurationError("matrix must be square")
+    if nb < 1 or n % nb != 0:
+        raise ConfigurationError("n must be a multiple of nb")
+    panels = n // nb
+
+    def program(ctx):
+        rank = ctx.rank
+        # My panels, in global panel order.
+        mine = {k: a[:, k * nb : (k + 1) * nb].copy()
+                for k in range(panels) if k % size == rank}
+        piv = np.arange(n)
+        for k in range(panels):
+            owner = k % size
+            col0 = k * nb
+            if rank == owner:
+                panel = mine[k]
+                local_piv = []
+                for j in range(nb):
+                    gj = col0 + j
+                    p = int(np.argmax(np.abs(panel[gj:, j]))) + gj
+                    local_piv.append(p)
+                    if p != gj:
+                        panel[[gj, p], :] = panel[[p, gj], :]
+                    panel[gj + 1 :, j] /= panel[gj, j]
+                    if j + 1 < nb:
+                        panel[gj + 1 :, j + 1 :] -= np.outer(
+                            panel[gj + 1 :, j], panel[gj, j + 1 :]
+                        )
+                payload = (local_piv, panel[col0:, :].copy())
+            else:
+                payload = None
+            local_piv, l_panel = yield from ctx.comm.bcast(
+                payload, root=owner, tag=2000 + k
+            )
+            # Apply the pivot swaps and the update to every LATER local panel.
+            for j, p in enumerate(local_piv):
+                gj = col0 + j
+                if p != gj:
+                    piv[[gj, p]] = piv[[p, gj]]
+            l21 = l_panel[nb:, :]  # rows below the diagonal block
+            l11 = np.tril(l_panel[:nb, :], -1) + np.eye(nb)
+            for kk, panel in mine.items():
+                if kk == k:
+                    continue  # the owner already swapped inside factorization
+                # Pivot swaps touch whole rows, including the L columns of
+                # already-factorized panels (as in the serial kernel).
+                for j, p in enumerate(local_piv):
+                    gj = col0 + j
+                    if p != gj:
+                        panel[[gj, p], :] = panel[[p, gj], :]
+                if kk < k:
+                    continue
+                # U12 = L11^{-1} A12, then A22 -= L21 @ U12 (the GPGPU DGEMM).
+                a12 = panel[col0 : col0 + nb, :]
+                u12 = np.linalg.solve(l11, a12)
+                panel[col0 : col0 + nb, :] = u12
+                panel[col0 + nb :, :] -= l21 @ u12
+            if rank == owner:
+                # Keep my own factorized panel consistent for assembly.
+                mine[k] = np.vstack([mine[k][:col0, :], l_panel])
+        gathered = yield from ctx.comm.gather(mine, root=0)
+        if rank == 0:
+            lu = np.empty_like(a)
+            for chunk in gathered:
+                for k, panel in chunk.items():
+                    lu[:, k * nb : (k + 1) * nb] = panel
+            return lu, piv
+        return None
+
+    values = _run_spmd(cluster, program)
+    return values[0]
+
+
+# ---------------------------------------------------------------------------
+# IS-style bucket sort
+# ---------------------------------------------------------------------------
+
+
+def distributed_bucket_sort(cluster: Cluster, keys: np.ndarray) -> np.ndarray:
+    """IS's algorithm: bucket keys by range, all-to-all exchange so rank i
+    owns range i, sort locally, gather in rank order."""
+    size = cluster.node_count
+    keys = np.asarray(keys)
+    if keys.ndim != 1 or keys.size == 0:
+        raise ConfigurationError("keys must be a non-empty 1-D array")
+    if np.any(keys < 0):
+        raise ConfigurationError("keys must be non-negative")
+    max_key = int(keys.max())
+    width = max_key // size + 1
+    chunks = np.array_split(keys, size)
+
+    def program(ctx):
+        rank = ctx.rank
+        mine = chunks[rank]
+        buckets = [mine[mine // width == b] for b in range(size)]
+        received = yield from ctx.comm.alltoall(buckets)
+        owned = np.concatenate(received) if received else np.array([], dtype=keys.dtype)
+        owned.sort(kind="stable")
+        gathered = yield from ctx.comm.gather(owned, root=0)
+        if rank == 0:
+            return np.concatenate(gathered)
+        return None
+
+    return _run_spmd(cluster, program)[0]

@@ -1,0 +1,65 @@
+"""The jacobi benchmark: 2-D Poisson solver on a rectangle (Table I).
+
+Row-block decomposition; per iteration each rank sweeps its slab on the
+GPGPU, exchanges one-row halos with its neighbours, and joins a convergence
+allreduce.  The validation-scale algorithm lives in
+`repro.workloads.kernels.stencil.jacobi_poisson_solve`.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import WorkloadCPUProfile
+from repro.units import mib
+from repro.workloads.base import GpuIterativeWorkload, block_partition
+
+#: Paper input: a matrix sized to fill a TX1 node's memory; we default to
+#: 8192^2 so the host+device double allocation also fits.
+DEFAULT_N = 8192
+
+_PROFILE = WorkloadCPUProfile(
+    name="jacobi",
+    branch_fraction=0.10,
+    branch_entropy=0.10,  # fixed-trip-count loops: very predictable
+    memory_fraction=0.35,
+    working_set_per_rank_bytes=mib(2),
+    flops_per_instruction=0.5,
+)
+
+
+class JacobiWorkload(GpuIterativeWorkload):
+    """GPGPU jacobi with MPI halo exchange."""
+
+    name = "jacobi"
+
+    def __init__(self, n: int = DEFAULT_N, iterations: int = 60, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.n = n
+        self._iterations = iterations
+
+    @property
+    def cpu_profile(self) -> WorkloadCPUProfile:
+        return _PROFILE
+
+    def iterations(self) -> int:
+        return self._iterations
+
+    def _points(self, size: int, rank: int) -> float:
+        return float(block_partition(self.n, size, rank) * self.n)
+
+    def local_bytes(self, size: int, rank: int) -> float:
+        # Two grids (u, u_next), doubles.
+        return 2.0 * 8.0 * self._points(size, rank)
+
+    def kernel_flops(self, size: int, rank: int) -> float:
+        # 4 adds + 1 mul + 1 fused source term per point.
+        return 6.0 * self._points(size, rank)
+
+    def kernel_dram_bytes(self, size: int, rank: int) -> float:
+        # Stream u (rows cached across the 5-point stencil) + write u_next.
+        return 16.0 * self._points(size, rank)
+
+    def halo_bytes(self, size: int, rank: int) -> float:
+        return 8.0 * self.n  # one row of doubles per neighbour
+
+    def reductions_per_iteration(self) -> int:
+        return 1  # the convergence-norm allreduce

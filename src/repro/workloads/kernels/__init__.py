@@ -1,0 +1,39 @@
+"""Real numeric kernels backing the workload models.
+
+Each workload in `repro.workloads` charges simulated time for paper-scale
+inputs, but its algorithm is also implemented here at validation scale so
+correctness is testable: the LU factorization factorizes, the Poisson solver
+converges, the FFT matches NumPy, the sort sorts, CG solves, multigrid
+contracts the residual, and the CNN layers compute real convolutions.
+"""
+
+from repro.workloads.kernels.linalg import blocked_lu, lu_solve
+from repro.workloads.kernels.stencil import (
+    heat_step_2d,
+    heat_step_3d,
+    jacobi_poisson_solve,
+    jacobi_step,
+)
+from repro.workloads.kernels.fft import fft3d, ifft3d
+from repro.workloads.kernels.sort import bucket_sort
+from repro.workloads.kernels.sparse import cg_solve, poisson_matrix_2d
+from repro.workloads.kernels.multigrid import mg_v_cycle
+from repro.workloads.kernels.random_ep import ep_gaussian_pairs
+from repro.workloads.kernels import nn
+
+__all__ = [
+    "blocked_lu",
+    "bucket_sort",
+    "cg_solve",
+    "ep_gaussian_pairs",
+    "fft3d",
+    "heat_step_2d",
+    "heat_step_3d",
+    "ifft3d",
+    "jacobi_poisson_solve",
+    "jacobi_step",
+    "lu_solve",
+    "mg_v_cycle",
+    "nn",
+    "poisson_matrix_2d",
+]

@@ -1,0 +1,37 @@
+"""3-D FFT built from 1-D transforms along each axis (the NPB FT structure).
+
+NPB FT distributes one axis across ranks and transposes (all-to-all) between
+axis passes; the kernel here performs the same three axis passes serially so
+tests can verify it against ``numpy.fft.fftn``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def fft3d(x: np.ndarray) -> np.ndarray:
+    """Three 1-D FFT passes (z, then y, then x) — the FT dataflow."""
+    if x.ndim != 3:
+        raise ConfigurationError("fft3d needs a 3-D array")
+    out = np.fft.fft(x, axis=2)
+    out = np.fft.fft(out, axis=1)
+    return np.fft.fft(out, axis=0)
+
+
+def ifft3d(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fft3d`."""
+    if x.ndim != 3:
+        raise ConfigurationError("ifft3d needs a 3-D array")
+    out = np.fft.ifft(x, axis=0)
+    out = np.fft.ifft(out, axis=1)
+    return np.fft.ifft(out, axis=2)
+
+
+def ft_flops(shape: tuple[int, int, int], iterations: int) -> float:
+    """NPB FT operation estimate: 5 N log2(N) per axis pass, 3 passes/iter."""
+    n_total = float(np.prod(shape))
+    per_pass = 5.0 * n_total * float(np.log2(max(shape)))
+    return 3.0 * per_pass * iterations

@@ -1,0 +1,138 @@
+"""CNN inference layers (mini-Caffe): im2col convolution, pooling, FC.
+
+These are real forward-pass implementations used to validate the AlexNet /
+GoogLeNet workload models: each layer both computes (NumPy) and reports its
+FLOP and byte footprint so the workload can charge simulated GPU time for
+the full-size networks while tests verify numerics at toy scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold (C, H, W) into (C*kh*kw, out_h*out_w) patches."""
+    c, h, w = x.shape
+    xp = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ConfigurationError("kernel does not fit input")
+    cols = np.empty((c * kh * kw, out_h * out_w), dtype=x.dtype)
+    idx = 0
+    for ci in range(c):
+        for i in range(kh):
+            for j in range(kw):
+                patch = xp[ci, i : i + stride * out_h : stride, j : j + stride * out_w : stride]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+    return cols
+
+
+def conv2d(x: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+           stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Convolution forward: x (C,H,W), weights (K,C,kh,kw) -> (K,out_h,out_w)."""
+    k, c, kh, kw = weights.shape
+    if x.shape[0] != c:
+        raise ConfigurationError(f"channel mismatch: input {x.shape[0]}, weights {c}")
+    if bias.shape != (k,):
+        raise ConfigurationError("bias must have one entry per output channel")
+    cols = im2col(x, kh, kw, stride, pad)
+    out = weights.reshape(k, -1) @ cols + bias[:, None]
+    out_h = (x.shape[1] + 2 * pad - kh) // stride + 1
+    out_w = (x.shape[2] + 2 * pad - kw) // stride + 1
+    return out.reshape(k, out_h, out_w)
+
+
+def maxpool2d(x: np.ndarray, size: int, stride: int) -> np.ndarray:
+    """Max pooling over (C, H, W)."""
+    c, h, w = x.shape
+    out_h = (h - size) // stride + 1
+    out_w = (w - size) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ConfigurationError("pool window does not fit input")
+    out = np.full((c, out_h, out_w), -np.inf, dtype=x.dtype)
+    for i in range(size):
+        for j in range(size):
+            out = np.maximum(
+                out, x[:, i : i + stride * out_h : stride, j : j + stride * out_w : stride]
+            )
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def fc(x: np.ndarray, weights: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Fully connected: flatten x, apply weights (out, in) + bias."""
+    flat = x.reshape(-1)
+    if weights.shape[1] != flat.size:
+        raise ConfigurationError("fc weight/input size mismatch")
+    return weights @ flat + bias
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = x - x.max()
+    e = np.exp(shifted)
+    return e / e.sum()
+
+
+# -- layer cost accounting ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """FLOPs and activation/weight bytes of one layer's forward pass."""
+
+    name: str
+    flops: float
+    weight_bytes: float
+    activation_bytes: float
+
+
+def conv_cost(name: str, in_shape: tuple[int, int, int], k: int, kh: int, kw: int,
+              stride: int = 1, pad: int = 0, dtype_bytes: int = 4,
+              groups: int = 1) -> tuple[LayerCost, tuple[int, int, int]]:
+    """Cost and output shape of a conv layer (2 FLOP per MAC).
+
+    ``groups`` splits input and output channels (AlexNet's two-column
+    convolutions), dividing MACs and weights by the group count.
+    """
+    c, h, w = in_shape
+    if groups < 1 or c % groups or k % groups:
+        raise ConfigurationError(f"{name}: channels must divide into groups")
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ConfigurationError(f"{name}: kernel does not fit")
+    macs = float(k * out_h * out_w * (c // groups) * kh * kw)
+    weights = float(k * (c // groups) * kh * kw + k) * dtype_bytes
+    activations = float(k * out_h * out_w) * dtype_bytes
+    return LayerCost(name, 2.0 * macs, weights, activations), (k, out_h, out_w)
+
+
+def pool_cost(name: str, in_shape: tuple[int, int, int], size: int, stride: int,
+              dtype_bytes: int = 4) -> tuple[LayerCost, tuple[int, int, int]]:
+    """Cost and output shape of a max-pool layer (1 compare per element)."""
+    c, h, w = in_shape
+    out_h = (h - size) // stride + 1
+    out_w = (w - size) // stride + 1
+    flops = float(c * out_h * out_w * size * size)
+    activations = float(c * out_h * out_w) * dtype_bytes
+    return LayerCost(name, flops, 0.0, activations), (c, out_h, out_w)
+
+
+def fc_cost(name: str, in_size: int, out_size: int,
+            dtype_bytes: int = 4) -> tuple[LayerCost, int]:
+    """Cost and output size of a fully connected layer."""
+    flops = 2.0 * in_size * out_size
+    weights = float(in_size * out_size + out_size) * dtype_bytes
+    return LayerCost(name, flops, weights, float(out_size) * dtype_bytes), out_size

@@ -1,0 +1,36 @@
+"""Bucket sort — the NPB IS algorithm (key ranking by bucketed counting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def bucket_sort(keys: np.ndarray, n_buckets: int = 16) -> np.ndarray:
+    """Sort non-negative integer keys by bucketing then per-bucket counting.
+
+    Mirrors IS's structure: histogram keys into ranges (in MPI these buckets
+    are exchanged all-to-all), then rank within each bucket.
+    """
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ConfigurationError("keys must be 1-D")
+    if keys.size == 0:
+        return keys.copy()
+    if np.any(keys < 0):
+        raise ConfigurationError("keys must be non-negative")
+    if n_buckets < 1:
+        raise ConfigurationError("need at least one bucket")
+
+    max_key = int(keys.max())
+    width = max_key // n_buckets + 1
+    bucket_of = keys // width
+    out = np.empty_like(keys)
+    offset = 0
+    for b in range(n_buckets):
+        bucket = keys[bucket_of == b]
+        bucket.sort(kind="stable")
+        out[offset : offset + bucket.size] = bucket
+        offset += bucket.size
+    return out

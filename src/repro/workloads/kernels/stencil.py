@@ -1,0 +1,75 @@
+"""Stencil kernels: Jacobi/Poisson (jacobi), heat conduction (tealeaf),
+all vectorized with NumPy views (no Python-level point loops)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def jacobi_step(u: np.ndarray, f: np.ndarray, h2: float) -> np.ndarray:
+    """One Jacobi sweep for the 2-D Poisson equation -∇²u = f.
+
+    Returns the updated interior in a new array (boundary copied).
+    """
+    if u.shape != f.shape or u.ndim != 2:
+        raise ConfigurationError("u and f must be matching 2-D grids")
+    out = u.copy()
+    out[1:-1, 1:-1] = 0.25 * (
+        u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:] + h2 * f[1:-1, 1:-1]
+    )
+    return out
+
+
+def jacobi_poisson_solve(
+    f: np.ndarray,
+    tol: float = 1e-6,
+    max_iters: int = 20_000,
+) -> tuple[np.ndarray, int]:
+    """Solve -∇²u = f on the unit square with zero boundary (validation scale).
+
+    Returns (solution, iterations).  Convergence is measured by the maximum
+    update norm, the same criterion the workload's allreduce checks.
+    """
+    n = f.shape[0]
+    h2 = (1.0 / (n - 1)) ** 2
+    u = np.zeros_like(f)
+    for iteration in range(1, max_iters + 1):
+        nxt = jacobi_step(u, f, h2)
+        delta = float(np.max(np.abs(nxt - u)))
+        u = nxt
+        if delta < tol:
+            return u, iteration
+    return u, max_iters
+
+
+def heat_step_2d(u: np.ndarray, rx: float, ry: float) -> np.ndarray:
+    """One explicit step of the 2-D linear heat equation (tealeaf2d's PDE)."""
+    if u.ndim != 2:
+        raise ConfigurationError("u must be 2-D")
+    out = u.copy()
+    out[1:-1, 1:-1] = (
+        u[1:-1, 1:-1]
+        + rx * (u[:-2, 1:-1] - 2 * u[1:-1, 1:-1] + u[2:, 1:-1])
+        + ry * (u[1:-1, :-2] - 2 * u[1:-1, 1:-1] + u[1:-1, 2:])
+    )
+    return out
+
+
+def heat_step_3d(u: np.ndarray, r: float) -> np.ndarray:
+    """One explicit step of the 3-D linear heat equation (tealeaf3d's PDE)."""
+    if u.ndim != 3:
+        raise ConfigurationError("u must be 3-D")
+    out = u.copy()
+    core = u[1:-1, 1:-1, 1:-1]
+    out[1:-1, 1:-1, 1:-1] = core + r * (
+        u[:-2, 1:-1, 1:-1]
+        + u[2:, 1:-1, 1:-1]
+        + u[1:-1, :-2, 1:-1]
+        + u[1:-1, 2:, 1:-1]
+        + u[1:-1, 1:-1, :-2]
+        + u[1:-1, 1:-1, 2:]
+        - 6 * core
+    )
+    return out

@@ -1,0 +1,14 @@
+"""The NAS Parallel Benchmarks (class C) as CPU workload models.
+
+Each benchmark pairs a :class:`~repro.hardware.cpu.WorkloadCPUProfile`
+(branch behaviour, hot working set, memory intensity — the knobs behind the
+paper's Cavium-vs-TX1 analysis) with its communication pattern (halo,
+wavefront pipeline, all-to-all transpose, sparse exchange, or none).
+Validation-scale numerics live in `repro.workloads.kernels` (FT -> fft3d,
+IS -> bucket_sort, CG -> cg_solve, MG -> mg_v_cycle, EP -> ep_gaussian_pairs).
+"""
+
+from repro.workloads.npb.common import NPBSpec, NPBWorkload
+from repro.workloads.npb.suite import NPB_SPECS, npb_workload
+
+__all__ = ["NPBSpec", "NPBWorkload", "NPB_SPECS", "npb_workload"]

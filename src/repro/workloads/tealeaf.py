@@ -1,0 +1,118 @@
+"""The tealeaf2d / tealeaf3d benchmarks: linear heat conduction via CG.
+
+TeaLeaf solves the implicit heat equation with a conjugate-gradient inner
+loop: each CG iteration is a stencil matvec on the GPGPU, a halo exchange of
+the search direction, and **two dot-product allreduces** — the combination
+that makes the solver latency- and (in 3-D, where halos are whole faces)
+bandwidth-sensitive.  The paper finds tealeaf3d among the most network-bound
+codes (Fig. 3, Table II) while tealeaf2d sees little gain from 10 GbE.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import WorkloadCPUProfile
+from repro.units import mib
+from repro.workloads.base import GpuIterativeWorkload, block_partition
+
+_PROFILE_2D = WorkloadCPUProfile(
+    name="tealeaf2d",
+    branch_fraction=0.12,
+    branch_entropy=0.15,
+    memory_fraction=0.35,
+    working_set_per_rank_bytes=mib(2),
+    flops_per_instruction=0.5,
+)
+
+_PROFILE_3D = WorkloadCPUProfile(
+    name="tealeaf3d",
+    branch_fraction=0.12,
+    branch_entropy=0.18,
+    memory_fraction=0.38,
+    working_set_per_rank_bytes=mib(3),
+    flops_per_instruction=0.5,
+)
+
+
+class TeaLeaf2DWorkload(GpuIterativeWorkload):
+    """2-D heat conduction; paper input 4000x4000 cells."""
+
+    name = "tealeaf2d"
+    #: ~6 kernels per CG iteration with host-driven synchronization.
+    driver_overhead_seconds_per_iteration = 1.5e-3
+
+    def __init__(self, n: int = 4000, steps: int = 4, cg_iterations: int = 24,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.n = n
+        self.steps = steps
+        self.cg_iterations = cg_iterations
+
+    @property
+    def cpu_profile(self) -> WorkloadCPUProfile:
+        return _PROFILE_2D
+
+    def iterations(self) -> int:
+        # One "iteration" of the shared loop = one CG iteration.
+        return self.steps * self.cg_iterations
+
+    def _points(self, size: int, rank: int) -> float:
+        return float(block_partition(self.n, size, rank) * self.n)
+
+    def local_bytes(self, size: int, rank: int) -> float:
+        # u, r, p, w, Kx, Ky vectors of doubles.
+        return 6.0 * 8.0 * self._points(size, rank)
+
+    def kernel_flops(self, size: int, rank: int) -> float:
+        # 5-point matvec + axpys: ~14 FLOP per point per CG iteration.
+        return 14.0 * self._points(size, rank)
+
+    def kernel_dram_bytes(self, size: int, rank: int) -> float:
+        return 48.0 * self._points(size, rank)
+
+    def halo_bytes(self, size: int, rank: int) -> float:
+        return 8.0 * self.n  # one row of p per neighbour
+
+    def reductions_per_iteration(self) -> int:
+        return 2  # rho and p.Ap dot products
+
+
+class TeaLeaf3DWorkload(GpuIterativeWorkload):
+    """3-D heat conduction; paper input 250^3-class cells, 5 steps."""
+
+    name = "tealeaf3d"
+    #: ~6 kernels per CG iteration with host-driven synchronization.
+    driver_overhead_seconds_per_iteration = 1.5e-3
+
+    def __init__(self, n: int = 288, steps: int = 4, cg_iterations: int = 24,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.n = n
+        self.steps = steps
+        self.cg_iterations = cg_iterations
+
+    @property
+    def cpu_profile(self) -> WorkloadCPUProfile:
+        return _PROFILE_3D
+
+    def iterations(self) -> int:
+        return self.steps * self.cg_iterations
+
+    def _points(self, size: int, rank: int) -> float:
+        return float(block_partition(self.n, size, rank)) * self.n * self.n
+
+    def local_bytes(self, size: int, rank: int) -> float:
+        return 6.0 * 8.0 * self._points(size, rank)
+
+    def kernel_flops(self, size: int, rank: int) -> float:
+        # 7-point matvec + axpys.
+        return 17.0 * self._points(size, rank)
+
+    def kernel_dram_bytes(self, size: int, rank: int) -> float:
+        return 56.0 * self._points(size, rank)
+
+    def halo_bytes(self, size: int, rank: int) -> float:
+        # A whole n x n face of doubles per neighbour: the 3-D cost.
+        return 8.0 * self.n * self.n
+
+    def reductions_per_iteration(self) -> int:
+        return 2

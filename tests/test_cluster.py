@@ -1,0 +1,192 @@
+"""Unit + integration tests for cluster assembly, jobs, and metering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, Job, Metering
+from repro.cluster.cluster import (
+    gtx980_cluster_spec,
+    thunderx_cluster_spec,
+    tx1_cluster_spec,
+)
+from repro.cuda import KernelSpec
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import WorkloadCPUProfile
+from repro.units import mib
+
+PROFILE = WorkloadCPUProfile(
+    name="test", branch_fraction=0.1, branch_entropy=0.2,
+    memory_fraction=0.25, working_set_per_rank_bytes=mib(4),
+)
+
+
+def test_tx1_cluster_spec_networks():
+    ten = tx1_cluster_spec(4, "10G")
+    one = tx1_cluster_spec(4, "1G")
+    assert ten.nic.achievable_rate > one.nic.achievable_rate
+    with pytest.raises(ConfigurationError):
+        tx1_cluster_spec(4, "100G")
+
+
+def test_cluster_builds_nodes_and_fabric():
+    cluster = Cluster(tx1_cluster_spec(8))
+    assert cluster.node_count == 8
+    assert cluster.total_cores == 32
+    # Compute nodes plus the NFS file server hang off the fabric.
+    assert len(cluster.fabric.nodes) == 9
+    assert cluster.fileserver.node_id == 8
+    assert not cluster.fileserver.has_gpu
+
+
+def test_cluster_peak_flops_scale_with_nodes():
+    c4 = Cluster(tx1_cluster_spec(4))
+    c8 = Cluster(tx1_cluster_spec(8))
+    assert c8.peak_dp_flops == pytest.approx(2 * c4.peak_dp_flops)
+    assert c8.gpu_peak_dp_flops == pytest.approx(2 * c4.gpu_peak_dp_flops)
+
+
+def test_thunderx_cluster_is_one_fat_node():
+    cluster = Cluster(thunderx_cluster_spec())
+    assert cluster.node_count == 1
+    assert cluster.total_cores == 96
+    assert cluster.gpu_peak_dp_flops == 0.0
+
+
+def test_gtx980_cluster_has_pcie():
+    spec = gtx980_cluster_spec(2)
+    assert spec.pcie_bandwidth is not None
+    cluster = Cluster(spec)
+    assert cluster.gpu_peak_dp_flops > Cluster(tx1_cluster_spec(2)).gpu_peak_dp_flops
+
+
+# -- jobs -----------------------------------------------------------------------
+
+
+def simple_compute(ctx):
+    yield from ctx.cpu_compute(PROFILE, 1e8)
+    return ctx.rank
+
+
+def test_job_runs_all_ranks():
+    job = Job(Cluster(tx1_cluster_spec(4)), ranks_per_node=2)
+    result = job.run(simple_compute)
+    assert result.rank_values == list(range(8))
+    assert result.elapsed_seconds > 0.0
+
+
+def test_job_counters_populated():
+    job = Job(Cluster(tx1_cluster_spec(2)), ranks_per_node=1)
+    result = job.run(simple_compute)
+    for counters in result.counters:
+        assert counters.instructions == pytest.approx(1e8)
+        assert counters.cycles > 0
+        assert counters.compute_seconds > 0
+
+
+def test_job_rank_to_node_mapping():
+    job = Job(Cluster(tx1_cluster_spec(2)), ranks_per_node=4)
+    assert job.size == 8
+    assert job.ranks_on_node(0) == 4
+    assert job.ranks_on_node(1) == 4
+
+
+def test_job_energy_accounting():
+    job = Job(Cluster(tx1_cluster_spec(2)), ranks_per_node=1)
+    result = job.run(simple_compute)
+    assert result.energy_joules > 0
+    baseline = 2 * job.cluster.spec.node_spec.power.idle_watts
+    assert result.average_power_watts > baseline
+
+
+def test_job_with_communication():
+    def workload(ctx):
+        yield from ctx.cpu_compute(PROFILE, 1e7)
+        total = yield from ctx.comm.allreduce(ctx.rank)
+        return total
+
+    job = Job(Cluster(tx1_cluster_spec(4)), ranks_per_node=1)
+    result = job.run(workload)
+    assert result.rank_values == [6, 6, 6, 6]
+    assert result.network_bytes > 0
+    assert any(s > 0 for s in result.comm_seconds)
+
+
+def test_job_with_gpu_kernel():
+    def workload(ctx):
+        kernel = KernelSpec("k", flops=1e9, dram_bytes=1e7)
+        record = yield from ctx.gpu_kernel(kernel)
+        return record.seconds
+
+    job = Job(Cluster(tx1_cluster_spec(2)), ranks_per_node=1)
+    result = job.run(workload)
+    assert result.gpu_flops == pytest.approx(2e9)
+    assert result.gpu_dram_bytes >= 2e7
+    assert all(v > 0 for v in result.rank_values)
+
+
+def test_gpu_on_thunderx_rejected():
+    def workload(ctx):
+        kernel = KernelSpec("k", flops=1e9, dram_bytes=0.0)
+        yield from ctx.gpu_kernel(kernel)
+
+    job = Job(Cluster(thunderx_cluster_spec()), ranks_per_node=1)
+    with pytest.raises(ConfigurationError):
+        job.run(workload)
+
+
+def test_core_contention_slows_oversubscription():
+    """More ranks than cores on a node must serialize compute."""
+    def workload(ctx):
+        yield from ctx.cpu_compute(PROFILE, 5e8)
+
+    fit = Job(Cluster(tx1_cluster_spec(1)), ranks_per_node=4).run(workload)
+    over = Job(Cluster(tx1_cluster_spec(1)), ranks_per_node=8).run(workload)
+    assert over.elapsed_seconds > 1.6 * fit.elapsed_seconds
+
+
+def test_unpinned_affinity_adds_jitter():
+    def workload(ctx):
+        yield from ctx.cpu_compute(PROFILE, 5e8)
+
+    pinned = Job(Cluster(tx1_cluster_spec(2)), pin_affinity=True, seed=7).run(workload)
+    floating = Job(Cluster(tx1_cluster_spec(2)), pin_affinity=False, seed=7).run(workload)
+    assert floating.elapsed_seconds > pinned.elapsed_seconds
+
+
+def test_throughput_and_efficiency_metrics():
+    job = Job(Cluster(tx1_cluster_spec(2)))
+    result = job.run(simple_compute)
+    assert result.total_flops == pytest.approx(result.cpu_flops)
+    assert result.throughput_flops > 0
+    assert result.mflops_per_watt() > 0
+
+
+def test_job_validation():
+    with pytest.raises(ConfigurationError):
+        Job(Cluster(tx1_cluster_spec(1)), ranks_per_node=0)
+
+
+# -- metering ----------------------------------------------------------------------
+
+
+def test_metering_includes_nic_and_switch():
+    cluster = Cluster(tx1_cluster_spec(4, "10G"))
+    report = Metering(cluster).report(10.0)
+    # No traffic flowed, so the NICs sit at their idle draw.
+    assert report.nic_joules == pytest.approx(4 * 2.0 * 10.0)
+    # Switch energy is tracked but sits outside the per-system meters.
+    assert report.switch_joules == pytest.approx(cluster.spec.switch.power_watts * 10.0)
+    assert report.total_joules == pytest.approx(report.node_joules + report.nic_joules)
+
+
+def test_1g_cluster_has_lower_baseline_power():
+    ten = Metering(Cluster(tx1_cluster_spec(4, "10G"))).report(10.0)
+    one = Metering(Cluster(tx1_cluster_spec(4, "1G"))).report(10.0)
+    assert one.total_joules < ten.total_joules
+
+
+def test_sample_trace_shape():
+    cluster = Cluster(tx1_cluster_spec(2))
+    trace = Metering(cluster).sample_trace(3.0, hz=10.0)
+    assert len(trace) == 30
+    assert all(w > 0 for w in trace)

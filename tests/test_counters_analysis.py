@@ -1,0 +1,226 @@
+"""Unit tests for PMU counters, derived metrics, PLS, and observation matrices."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_observation_matrix, fit_pls
+from repro.cluster import Cluster, Job
+from repro.cluster.cluster import tx1_cluster_spec
+from repro.counters import (
+    PMU_V3_EVENTS,
+    PMUEvent,
+    collect_counters,
+    derive_metrics,
+    schedule_event_groups,
+)
+from repro.errors import AnalysisError
+from repro.hardware.cpu import WorkloadCPUProfile
+from repro.units import mib
+
+PROFILE = WorkloadCPUProfile(
+    name="t", branch_fraction=0.2, branch_entropy=0.5,
+    memory_fraction=0.3, working_set_per_rank_bytes=mib(16),
+)
+
+
+def run_job():
+    job = Job(Cluster(tx1_cluster_spec(2)), ranks_per_node=1)
+
+    def workload(ctx):
+        yield from ctx.cpu_compute(PROFILE, 1e8)
+
+    return job.run(workload)
+
+
+# -- collection ------------------------------------------------------------------
+
+
+def test_event_grouping_respects_registers():
+    groups = schedule_event_groups(list(PMU_V3_EVENTS), registers=6)
+    assert len(groups) == 2
+    assert all(len(g) <= 6 for g in groups)
+    flat = [e for g in groups for e in g]
+    assert flat == list(PMU_V3_EVENTS)
+
+
+def test_event_grouping_validation():
+    with pytest.raises(AnalysisError):
+        schedule_event_groups(list(PMU_V3_EVENTS), registers=0)
+    with pytest.raises(AnalysisError):
+        schedule_event_groups([PMUEvent.CPU_CYCLES, PMUEvent.CPU_CYCLES])
+
+
+def test_collect_counters_from_result():
+    result = run_job()
+    report = collect_counters(result, PMU_V3_EVENTS)
+    assert report.runs_used == 2
+    assert report[PMUEvent.INST_RETIRED] == pytest.approx(2e8)
+    assert report[PMUEvent.BR_RETIRED] == pytest.approx(2e8 * 0.2)
+    assert report[PMUEvent.BR_MIS_PRED] < report[PMUEvent.BR_RETIRED]
+    assert report[PMUEvent.L2D_CACHE_REFILL] <= report[PMUEvent.L2D_CACHE]
+
+
+def test_collect_counters_with_run_factory():
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return run_job()
+
+    report = collect_counters(factory, PMU_V3_EVENTS)
+    assert len(calls) == 2  # one measurement run per register group
+    assert PMUEvent.STALL_BACKEND in report
+
+
+def test_derive_metrics():
+    report = collect_counters(run_job(), PMU_V3_EVENTS)
+    metrics = derive_metrics(report)
+    assert 0 < metrics["IPC"] <= 1.2
+    assert 0 < metrics["BR_MIS_RATIO"] < 1
+    assert 0 < metrics["LD_MISS_RATIO"] < 1
+    assert metrics["SPEC_RATIO"] >= 1.0
+    assert metrics["BR_MIS_PRED"] == report[PMUEvent.BR_MIS_PRED]
+
+
+def test_derive_metrics_missing_events():
+    report = collect_counters(run_job(), [PMUEvent.CPU_CYCLES])
+    with pytest.raises(AnalysisError):
+        derive_metrics(report)
+
+
+# -- PLS ------------------------------------------------------------------------
+
+
+def synthetic_pls_data(n=8, noise=0.0, seed=3):
+    """y driven by variables 0 and 2; variable 1 is noise."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(1.0, 0.3, size=(n, 4))
+    y = 2.0 * X[:, 0] - 1.5 * X[:, 2] + noise * rng.normal(size=n)
+    return X, y
+
+
+def test_pls_recovers_driving_variables():
+    X, y = synthetic_pls_data()
+    model = fit_pls(X, y, ["a", "b", "c", "d"])
+    top = [name for name, _ in model.top_variables(2)]
+    assert set(top) == {"a", "c"}
+
+
+def test_pls_coefficient_signs():
+    X, y = synthetic_pls_data()
+    model = fit_pls(X, y, ["a", "b", "c", "d"])
+    coef = dict(zip(model.variable_names, model.coefficients))
+    assert coef["a"] > 0
+    assert coef["c"] < 0
+
+
+def test_pls_predict_reconstructs_response():
+    X, y = synthetic_pls_data()
+    model = fit_pls(X, y, ["a", "b", "c", "d"])
+    pred = model.predict(X)
+    assert np.corrcoef(pred, y)[0, 1] > 0.99
+
+
+def test_pls_variance_explained_sums_below_one():
+    X, y = synthetic_pls_data(noise=0.1)
+    model = fit_pls(X, y, ["a", "b", "c", "d"])
+    assert np.all(model.x_variance_explained >= 0)
+    assert model.x_variance_explained.sum() <= 1.0 + 1e-9
+    assert 1 <= model.components_for_variance(0.95) <= model.n_components
+
+
+def test_pls_validation():
+    X, y = synthetic_pls_data()
+    with pytest.raises(AnalysisError):
+        fit_pls(X, y[:3], ["a", "b", "c", "d"])
+    with pytest.raises(AnalysisError):
+        fit_pls(X, y, ["a", "b"])
+    with pytest.raises(AnalysisError):
+        fit_pls(X, np.full(len(y), 2.0), ["a", "b", "c", "d"])
+    with pytest.raises(AnalysisError):
+        fit_pls(X[:1], y[:1], ["a", "b", "c", "d"])
+
+
+def test_pls_top_variables_bounds():
+    X, y = synthetic_pls_data()
+    model = fit_pls(X, y, ["a", "b", "c", "d"])
+    with pytest.raises(AnalysisError):
+        model.top_variables(0)
+    with pytest.raises(AnalysisError):
+        model.top_variables(9)
+
+
+# -- observation matrix --------------------------------------------------------------
+
+
+def test_observation_matrix_ratios():
+    ma = {"bt": {"x": 2.0, "y": 4.0}, "cg": {"x": 1.0, "y": 1.0}}
+    mb = {"bt": {"x": 1.0, "y": 2.0}, "cg": {"x": 2.0, "y": 4.0}}
+    ra = {"bt": 10.0, "cg": 6.0}
+    rb = {"bt": 5.0, "cg": 12.0}
+    obs = build_observation_matrix(ma, mb, ra, rb)
+    assert obs.benchmarks == ("bt", "cg")
+    i = obs.variable_names.index("x")
+    np.testing.assert_allclose(obs.X[:, i], [2.0, 0.5])
+    np.testing.assert_allclose(obs.y, [2.0, 0.5])
+
+
+def test_observation_matrix_validation():
+    ma = {"bt": {"x": 1.0}}
+    with pytest.raises(AnalysisError):
+        build_observation_matrix(ma, {}, {"bt": 1.0}, {"bt": 1.0})
+    with pytest.raises(AnalysisError):
+        build_observation_matrix(
+            ma, {"bt": {"x": 0.0}}, {"bt": 1.0}, {"bt": 1.0}
+        )
+    with pytest.raises(AnalysisError):
+        build_observation_matrix(
+            ma, {"bt": {"x": 1.0}}, {"bt": 1.0}, {"bt": 0.0}
+        )
+
+
+def test_observation_matrix_with_pls_end_to_end():
+    """Benchmarks whose branch behaviour is worse on system A should make
+    PLS pick the branch variable as explanatory for A's slowdown."""
+    rng = np.random.default_rng(0)
+    benches = [f"b{i}" for i in range(8)]
+    ma, mb, ra, rb = {}, {}, {}, {}
+    for bench in benches:
+        branch_ratio = float(rng.uniform(1.0, 4.0))
+        cache_ratio = float(rng.uniform(0.9, 1.1))
+        ma[bench] = {"BR_MIS_PRED": branch_ratio, "LD_MISS_RATIO": cache_ratio}
+        mb[bench] = {"BR_MIS_PRED": 1.0, "LD_MISS_RATIO": 1.0}
+        rb[bench] = 10.0
+        ra[bench] = 10.0 * (0.5 + 0.5 * branch_ratio)
+    obs = build_observation_matrix(ma, mb, ra, rb)
+    model = fit_pls(obs.X, obs.y, list(obs.variable_names))
+    assert model.top_variables(1)[0][0] == "BR_MIS_PRED"
+
+
+def test_loo_press_prefers_true_component_count():
+    """Cross-validation picks a small model for a rank-1 response."""
+    from repro.analysis import loo_press, select_components_by_press
+
+    rng = np.random.default_rng(2)
+    # Few observations, many noise variables: extra components chase noise.
+    X = rng.normal(0.0, 1.0, size=(9, 7))
+    y = 2.0 * X[:, 0] + 0.8 * rng.normal(size=9)
+    names = [f"v{i}" for i in range(7)]
+    chosen = select_components_by_press(X, y, names)
+    assert chosen == 1  # the rank-1 truth
+    # PRESS at the chosen count is no worse than anywhere else.
+    best = loo_press(X, y, names, chosen)
+    for k in range(1, 8):
+        assert best <= loo_press(X, y, names, k) + 1e-12
+
+
+def test_loo_press_validation():
+    from repro.analysis import loo_press, select_components_by_press
+    from repro.errors import AnalysisError
+
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2, 3))
+    with pytest.raises(AnalysisError):
+        loo_press(X, np.array([1.0, 2.0]), ["a", "b", "c"], 1)
+    with pytest.raises(AnalysisError):
+        select_components_by_press(X, np.array([1.0, 2.0]), ["a", "b", "c"])

@@ -1,0 +1,287 @@
+"""Unit tests for the simulated CUDA runtime."""
+
+import pytest
+
+from repro.cuda import CudaContext, KernelSpec, MemoryManager, MemoryModel, Stream
+from repro.errors import CudaError
+from repro.hardware import catalog
+from repro.units import gib, mib
+
+from tests.conftest import build_tx1_fabric
+
+
+@pytest.fixture
+def ctx():
+    env, fabric, nodes = build_tx1_fabric(1)
+    return CudaContext(nodes[0])
+
+
+def drive(env, gen):
+    """Run a generator process to completion and return its value."""
+    proc = env.process(gen)
+    return env.run(until=proc)
+
+
+# -- allocation --------------------------------------------------------------------
+
+
+def test_malloc_tracks_dram(ctx):
+    buf = ctx.malloc(mib(100))
+    assert ctx.node.dram.allocated_bytes == mib(100)
+    ctx.free(buf)
+    assert ctx.node.dram.allocated_bytes == 0.0
+
+
+def test_double_free_rejected(ctx):
+    buf = ctx.malloc(1024)
+    ctx.free(buf)
+    with pytest.raises(CudaError):
+        ctx.free(buf)
+
+
+def test_oom_on_tx1(ctx):
+    with pytest.raises(MemoryError):
+        ctx.malloc(gib(8))
+
+
+def test_zero_size_alloc_rejected(ctx):
+    with pytest.raises(CudaError):
+        ctx.malloc(0)
+
+
+def test_live_bytes(ctx):
+    a = ctx.malloc(1000)
+    b = ctx.malloc_host(500)
+    assert ctx.live_bytes == 1500
+    ctx.free(a)
+    assert ctx.live_bytes == 500
+    ctx.free(b)
+
+
+def test_address_spaces(ctx):
+    assert ctx.malloc(8).space == "device"
+    assert ctx.malloc_host(8).space == "host"
+    assert ctx.malloc_managed(8).space == "managed"
+    assert ctx.host_alloc_mapped(8).space == "mapped"
+
+
+# -- memcpy -----------------------------------------------------------------------
+
+
+def test_memcpy_takes_time_and_records(ctx):
+    env = ctx.env
+    dev = ctx.malloc(mib(64))
+    host = ctx.malloc_host(mib(64))
+    drive(env, ctx.memcpy(dev, host))
+    assert env.now > 0.0
+    assert len(ctx.profiler.copies) == 1
+    assert ctx.profiler.copies[0].kind == "h2d"
+    assert ctx.node.dram.traffic.copy_bytes == mib(64)
+
+
+def test_memcpy_on_freed_buffer_rejected(ctx):
+    dev = ctx.malloc(1024)
+    host = ctx.malloc_host(1024)
+    ctx.free(dev)
+    with pytest.raises(CudaError):
+        next(ctx.memcpy(dev, host))
+
+
+def test_memcpy_oversize_rejected(ctx):
+    dev = ctx.malloc(1024)
+    host = ctx.malloc_host(512)
+    with pytest.raises(CudaError):
+        next(ctx.memcpy(dev, host, nbytes=2048))
+
+
+def test_memcpy_mapped_buffer_rejected(ctx):
+    mapped = ctx.host_alloc_mapped(1024)
+    dev = ctx.malloc(1024)
+    with pytest.raises(CudaError):
+        next(ctx.memcpy(dev, mapped))
+
+
+def test_discrete_pcie_copy_slower_than_unified_bus():
+    env, _, nodes = build_tx1_fabric(1)
+    unified = CudaContext(nodes[0])
+    discrete = CudaContext(nodes[0], pcie_bandwidth=catalog.PCIE3_X16_BANDWIDTH)
+    # On this TX1 the shared-bus copy (2x traffic at 14.7 GB/s) is slower
+    # than a PCIe3 x16 copy would be; what matters is both are modeled.
+    assert unified._copy_seconds(1e9) != discrete._copy_seconds(1e9)
+    assert discrete._copy_seconds(1e9) == pytest.approx(1e9 / catalog.PCIE3_X16_BANDWIDTH)
+
+
+# -- kernels -----------------------------------------------------------------------
+
+
+def test_kernel_launch_charges_time_and_power(ctx):
+    env = ctx.env
+    kernel = KernelSpec("axpy", flops=1e9, dram_bytes=1e8)
+    record = drive(env, ctx.launch(kernel))
+    assert record.seconds > 0.0
+    assert env.now == pytest.approx(record.seconds)
+    assert ctx.node.power.gpu_busy_seconds == pytest.approx(record.seconds)
+    assert ctx.node.dram.traffic.gpu_bytes == 1e8
+
+
+def test_kernel_serialization_on_engine(ctx):
+    env = ctx.env
+    kernel = KernelSpec("k", flops=1e9, dram_bytes=0.0)
+
+    def launch_two():
+        yield env.process(ctx.launch(kernel))
+        yield env.process(ctx.launch(kernel))
+
+    one = ctx.gpu_cost(kernel).seconds
+    drive(env, launch_two())
+    assert env.now == pytest.approx(2 * one)
+
+
+def test_concurrent_launches_serialize(ctx):
+    env = ctx.env
+    kernel = KernelSpec("k", flops=1e9, dram_bytes=0.0)
+    env.process(ctx.launch(kernel))
+    env.process(ctx.launch(kernel))
+    env.run()
+    one = ctx.gpu_cost(kernel).seconds
+    assert env.now == pytest.approx(2 * one)
+
+
+def test_kernel_spec_validation():
+    with pytest.raises(CudaError):
+        KernelSpec("bad", flops=-1.0, dram_bytes=0.0)
+
+
+def test_streams_overlap_copy_and_kernel(ctx):
+    """Copies on one stream overlap kernels on another (separate engines)."""
+    env = ctx.env
+    s1, s2 = Stream(env, "s1"), Stream(env, "s2")
+    kernel = KernelSpec("k", flops=5e9, dram_bytes=0.0)
+    dev = ctx.malloc(mib(256))
+    host = ctx.malloc_host(mib(256))
+
+    def kernel_work():
+        yield from ctx.launch(kernel, stream=s1)
+
+    def copy_work():
+        yield from ctx.memcpy(dev, host)
+
+    env.process(kernel_work())
+    env.process(copy_work())
+    env.run()
+    k_time = ctx.gpu_cost(kernel).seconds
+    c_time = ctx._copy_seconds(mib(256))
+    # Overlapped: total ~ max, not sum.
+    assert env.now == pytest.approx(max(k_time, c_time), rel=0.01)
+
+
+def test_same_stream_serializes(ctx):
+    env = ctx.env
+    s = Stream(env)
+    kernel = KernelSpec("k", flops=1e9, dram_bytes=0.0)
+    env.process(ctx.launch(kernel, stream=s))
+    env.process(ctx.launch(kernel, stream=s))
+    env.run()
+    assert env.now == pytest.approx(2 * ctx.gpu_cost(kernel).seconds)
+
+
+# -- memory models (Table III mechanics) ------------------------------------------
+
+
+def run_jacobi_like(model, iterations=10):
+    """Jacobi's real structure: grid stays resident across iterations; only
+    halo-sized staging happens per iteration (plus one full load/store)."""
+    env, _, nodes = build_tx1_fabric(1)
+    ctx = CudaContext(nodes[0])
+    manager = MemoryManager(ctx, model)
+    nbytes = mib(128)
+    halo = mib(1)
+    kernel = KernelSpec("stencil", flops=2e7, dram_bytes=nbytes)  # memory-bound
+
+    def work():
+        buf = manager.allocate(nbytes)
+        yield from manager.stage_input(buf)  # initial full upload
+        for _ in range(iterations):
+            yield from manager.stage_input(buf, nbytes=halo)
+            yield from manager.run(kernel)
+            yield from manager.stage_output(buf, nbytes=halo)
+        yield from manager.stage_output(buf)  # final full download
+        manager.free(buf)
+
+    proc = env.process(work())
+    env.run(until=proc)
+    return env.now, ctx
+
+
+def test_zero_copy_slower_than_host_device():
+    t_hd, _ = run_jacobi_like(MemoryModel.HOST_DEVICE)
+    t_zc, _ = run_jacobi_like(MemoryModel.ZERO_COPY)
+    assert t_zc > t_hd
+
+
+def test_unified_close_to_host_device():
+    t_hd, _ = run_jacobi_like(MemoryModel.HOST_DEVICE)
+    t_um, _ = run_jacobi_like(MemoryModel.UNIFIED)
+    assert t_um == pytest.approx(t_hd, rel=0.15)
+
+
+def test_zero_copy_collapses_l2_metrics():
+    _, ctx_hd = run_jacobi_like(MemoryModel.HOST_DEVICE)
+    _, ctx_zc = run_jacobi_like(MemoryModel.ZERO_COPY)
+    assert ctx_zc.profiler.mean_l2_utilization() == 0.0
+    assert ctx_hd.profiler.mean_l2_utilization() > 0.0
+    assert ctx_zc.profiler.mean_l2_read_throughput() == 0.0
+    assert ctx_hd.profiler.mean_l2_read_throughput() > 0.0
+    assert (
+        ctx_zc.profiler.mean_memory_stall_fraction()
+        >= ctx_hd.profiler.mean_memory_stall_fraction()
+    )
+
+
+def test_zero_copy_does_no_copies():
+    _, ctx_zc = run_jacobi_like(MemoryModel.ZERO_COPY)
+    assert ctx_zc.profiler.copy_bytes == 0.0
+
+
+def test_host_device_double_allocates():
+    env, _, nodes = build_tx1_fabric(1)
+    ctx = CudaContext(nodes[0])
+    manager = MemoryManager(ctx, MemoryModel.HOST_DEVICE)
+    manager.allocate(mib(10))
+    assert ctx.live_bytes == mib(20)  # device + host shadow
+
+
+def test_manager_free_releases_shadow():
+    env, _, nodes = build_tx1_fabric(1)
+    ctx = CudaContext(nodes[0])
+    manager = MemoryManager(ctx, MemoryModel.HOST_DEVICE)
+    buf = manager.allocate(mib(10))
+    manager.free(buf)
+    assert ctx.live_bytes == 0.0
+
+
+def test_manager_model_validation():
+    env, _, nodes = build_tx1_fabric(1)
+    ctx = CudaContext(nodes[0])
+    with pytest.raises(CudaError):
+        MemoryManager(ctx, "zero-copy")  # type: ignore[arg-type]
+
+
+def test_stage_input_foreign_buffer_rejected():
+    env, _, nodes = build_tx1_fabric(1)
+    ctx = CudaContext(nodes[0])
+    manager = MemoryManager(ctx, MemoryModel.HOST_DEVICE)
+    foreign = ctx.malloc(1024)
+    with pytest.raises(CudaError):
+        next(manager.stage_input(foreign))
+
+
+def test_profiler_aggregates():
+    _, ctx = run_jacobi_like(MemoryModel.HOST_DEVICE, iterations=3)
+    prof = ctx.profiler
+    assert len(prof.kernels) == 3
+    assert len(prof.copies) == 8  # full up/down + halo in/out per iteration
+    assert prof.total_flops == pytest.approx(3 * 2e7)
+    assert prof.gpu_busy_seconds > 0.0
+    prof.reset()
+    assert prof.kernels == [] and prof.copies == []

@@ -1,0 +1,202 @@
+"""Failure injection: misuse and resource-exhaustion paths fail loudly.
+
+A production library must not silently absorb broken configurations — these
+tests drive each substrate into its failure modes and check the errors are
+specific, typed, and leave the system consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, Job
+from repro.cluster.cluster import tx1_cluster_spec
+from repro.cuda import CudaContext, KernelSpec, MemoryManager, MemoryModel
+from repro.errors import (
+    ConfigurationError,
+    CudaError,
+    MPIError,
+    SimulationError,
+    TraceError,
+)
+from repro.hardware.cpu import WorkloadCPUProfile
+from repro.mpi import CommWorld
+from repro.replay import IDEAL_NETWORK, replay
+from repro.sim import Environment
+from repro.tracing import Tracer
+from repro.units import gib, mib
+from repro.workloads import JacobiWorkload
+
+from tests.conftest import build_tx1_fabric
+
+PROFILE = WorkloadCPUProfile(name="t", working_set_per_rank_bytes=mib(2))
+
+
+# -- workload crashes propagate with context ------------------------------------
+
+
+def test_rank_exception_propagates_through_job():
+    def broken(ctx):
+        yield from ctx.cpu_compute(PROFILE, 1e6)
+        raise RuntimeError(f"rank {ctx.rank} corrupted state")
+
+    job = Job(Cluster(tx1_cluster_spec(2)))
+    with pytest.raises(RuntimeError, match="corrupted state"):
+        job.run(broken)
+
+
+def test_oom_mid_workload_is_a_memory_error():
+    """A workload that over-allocates must die with MemoryError, and the
+    DRAM accounting must reflect only what was actually granted."""
+    cluster = Cluster(tx1_cluster_spec(1))
+
+    def hog(ctx):
+        ctx.cuda.malloc(gib(3))
+        yield ctx.env.timeout(0.0)
+        ctx.cuda.malloc(gib(3))  # exceeds the TX1's 4 GB
+
+    job = Job(cluster)
+    with pytest.raises(MemoryError):
+        job.run(hog)
+    assert cluster.nodes[0].dram.allocated_bytes == gib(3)
+
+
+def test_workload_too_big_for_host_device_model():
+    """Paper context: host+device double-allocates; a grid that fits once
+    does not fit twice on a 4 GB node."""
+    w = JacobiWorkload(n=16384, iterations=1)  # 2 grids x 2 GB, x2 shadow
+    with pytest.raises(MemoryError):
+        w.run_on(Cluster(tx1_cluster_spec(1)))
+
+
+# -- deadlock-shaped bugs surface as errors, not hangs -----------------------------
+
+
+def test_unmatched_recv_leaves_queue_drained():
+    env, fabric, _ = build_tx1_fabric(2)
+    world = CommWorld(env, fabric, [0, 1])
+
+    def only_recv(comm):
+        yield from comm.recv(source=0, tag=99)
+
+    proc = env.process(only_recv(world.communicator(1)))
+    with pytest.raises(SimulationError, match="drained"):
+        env.run(until=proc)
+
+
+def test_replay_reports_deadlock():
+    tracer = Tracer(2)
+    tracer.record_state(0, "compute", 0.0, 1.0)
+    tracer.record_recv(1, 0, 64.0, 0.0, 1.0, tag=5)  # no matching send
+    with pytest.raises(TraceError, match="deadlock"):
+        replay(tracer.finalize(), IDEAL_NETWORK)
+
+
+# -- CUDA misuse -------------------------------------------------------------------
+
+
+def test_use_after_free_detected():
+    _, _, nodes = build_tx1_fabric(1)
+    ctx = CudaContext(nodes[0])
+    buf = ctx.malloc(4096)
+    other = ctx.malloc_host(4096)
+    ctx.free(buf)
+    with pytest.raises(CudaError, match="freed"):
+        next(ctx.memcpy(buf, other))
+
+
+def test_foreign_buffer_free_rejected():
+    _, _, nodes = build_tx1_fabric(2)
+    ctx_a = CudaContext(nodes[0])
+    ctx_b = CudaContext(nodes[1])
+    buf = ctx_a.malloc(4096)
+    with pytest.raises(CudaError, match="belong"):
+        ctx_b.free(buf)
+
+
+def test_migrate_non_managed_rejected():
+    _, _, nodes = build_tx1_fabric(1)
+    ctx = CudaContext(nodes[0])
+    buf = ctx.malloc(4096)
+    with pytest.raises(CudaError, match="managed"):
+        next(ctx.migrate(buf))
+
+
+def test_memory_manager_leak_detection_via_live_bytes():
+    """free() must release both the device buffer and the host shadow —
+    live_bytes is the leak detector."""
+    _, _, nodes = build_tx1_fabric(1)
+    ctx = CudaContext(nodes[0])
+    manager = MemoryManager(ctx, MemoryModel.HOST_DEVICE)
+    for _ in range(5):
+        buf = manager.allocate(mib(64))
+        manager.free(buf)
+    assert ctx.live_bytes == 0.0
+
+
+# -- configuration validation sweeps ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n": 0},
+        {"n": 100, "nb": 256},
+        {"mode": "quantum"},
+        {"gpu_work_ratio": 1.5},
+        {"gpu_work_ratio": -0.1},
+    ],
+)
+def test_hpl_invalid_configs(kwargs):
+    from repro.workloads import HplWorkload
+
+    with pytest.raises(ConfigurationError):
+        HplWorkload(**kwargs)
+
+
+def test_kernel_negative_work_rejected():
+    with pytest.raises(CudaError):
+        KernelSpec("bad", flops=1.0, dram_bytes=-1.0)
+
+
+def test_world_rejects_rank_on_missing_node():
+    env, fabric, _ = build_tx1_fabric(1)
+    with pytest.raises(MPIError):
+        CommWorld(env, fabric, [0, 3])
+
+
+def test_send_to_negative_rank_rejected():
+    env, fabric, _ = build_tx1_fabric(2)
+    world = CommWorld(env, fabric, [0, 1])
+    comm = world.communicator(0)
+    with pytest.raises(MPIError):
+        env.run(until=env.process(comm.send(1, dest=-1)))
+
+
+def test_send_negative_tag_rejected():
+    env, fabric, _ = build_tx1_fabric(2)
+    world = CommWorld(env, fabric, [0, 1])
+    comm = world.communicator(0)
+    with pytest.raises(MPIError):
+        env.run(until=env.process(comm.send(1, dest=1, tag=-5)))
+
+
+# -- numerically hostile payloads move intact -----------------------------------------
+
+
+def test_nan_and_inf_payloads_survive_transport():
+    env, fabric, _ = build_tx1_fabric(2)
+    world = CommWorld(env, fabric, [0, 1])
+    payload = np.array([np.nan, np.inf, -np.inf, 0.0])
+
+    def sender(comm):
+        yield from comm.send(payload, dest=1)
+
+    def receiver(comm):
+        data = yield from comm.recv(source=0)
+        return data
+
+    env.process(sender(world.communicator(0)))
+    proc = env.process(receiver(world.communicator(1)))
+    result = env.run(until=proc)
+    assert np.isnan(result[0])
+    assert np.isposinf(result[1]) and np.isneginf(result[2])

@@ -1,0 +1,206 @@
+"""The functional distributed algorithms must match their serial kernels:
+real NumPy data moved through the simulated MPI, verified bitwise/tolerance
+against `repro.workloads.kernels`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.cluster.cluster import tx1_cluster_spec
+from repro.errors import ConfigurationError
+from repro.workloads.functional import (
+    distributed_bucket_sort,
+    distributed_cg,
+    distributed_jacobi,
+    distributed_transpose_fft,
+)
+from repro.workloads.kernels import jacobi_step
+
+
+def cluster_of(n):
+    return Cluster(tx1_cluster_spec(n))
+
+
+# -- jacobi -----------------------------------------------------------------------
+
+
+def serial_jacobi(f, iterations):
+    n = f.shape[0]
+    h2 = (1.0 / (n - 1)) ** 2
+    u = np.zeros_like(f)
+    for _ in range(iterations):
+        u = jacobi_step(u, f, h2)
+    return u
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_distributed_jacobi_matches_serial(nodes):
+    n = 24
+    xs = np.linspace(0.0, 1.0, n)
+    x, y = np.meshgrid(xs, xs, indexing="ij")
+    f = 2 * np.pi**2 * np.sin(np.pi * x) * np.sin(np.pi * y)
+    serial = serial_jacobi(f, 25)
+    distributed = distributed_jacobi(cluster_of(nodes), f, 25)
+    np.testing.assert_allclose(distributed, serial, atol=1e-12)
+
+
+def test_distributed_jacobi_converges_toward_solution():
+    n = 33
+    xs = np.linspace(0.0, 1.0, n)
+    x, y = np.meshgrid(xs, xs, indexing="ij")
+    f = 2 * np.pi**2 * np.sin(np.pi * x) * np.sin(np.pi * y)
+    exact = np.sin(np.pi * x) * np.sin(np.pi * y)
+    few = distributed_jacobi(cluster_of(4), f, 50)
+    many = distributed_jacobi(cluster_of(4), f, 400)
+    assert np.max(np.abs(many - exact)) < np.max(np.abs(few - exact))
+
+
+def test_distributed_jacobi_validation():
+    with pytest.raises(ConfigurationError):
+        distributed_jacobi(cluster_of(4), np.zeros((8, 8)), 2)  # too small
+    with pytest.raises(ConfigurationError):
+        distributed_jacobi(cluster_of(2), np.zeros((10, 12)), 2)  # not square
+
+
+# -- CG --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_distributed_cg_solves(nodes):
+    rng = np.random.default_rng(5)
+    n = 24
+    m = rng.normal(size=(n, n))
+    a = m @ m.T + n * np.eye(n)
+    x_true = rng.normal(size=n)
+    b = a @ x_true
+    x = distributed_cg(cluster_of(nodes), a, b, iterations=n)
+    np.testing.assert_allclose(x, x_true, atol=1e-6)
+
+
+def test_distributed_cg_node_count_invariance():
+    """Property: the answer must not depend on the decomposition."""
+    rng = np.random.default_rng(6)
+    n = 20
+    m = rng.normal(size=(n, n))
+    a = m @ m.T + n * np.eye(n)
+    b = rng.normal(size=n)
+    x2 = distributed_cg(cluster_of(2), a, b, iterations=15)
+    x4 = distributed_cg(cluster_of(4), a, b, iterations=15)
+    np.testing.assert_allclose(x2, x4, atol=1e-8)
+
+
+def test_distributed_cg_validation():
+    with pytest.raises(ConfigurationError):
+        distributed_cg(cluster_of(2), np.zeros((3, 4)), np.zeros(3), 2)
+
+
+# -- FT transpose FFT ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_distributed_fft_matches_numpy(nodes):
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(8, 8, 4)) + 1j * rng.normal(size=(8, 8, 4))
+    out = distributed_transpose_fft(cluster_of(nodes), x)
+    reference = np.fft.fftn(x)
+    # The transpose moves axis 0 data into axis-1 slabs: reorder to compare.
+    np.testing.assert_allclose(np.moveaxis(out, 0, 1).reshape(reference.shape),
+                               np.moveaxis(reference, 0, 1).reshape(reference.shape),
+                               atol=1e-10)
+
+
+def test_distributed_fft_requires_divisible_axis():
+    with pytest.raises(ConfigurationError):
+        distributed_transpose_fft(cluster_of(4), np.zeros((6, 4, 4), dtype=complex))
+
+
+# -- IS bucket sort --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_distributed_sort_matches_numpy(nodes):
+    rng = np.random.default_rng(8)
+    keys = rng.integers(0, 2**20, size=4096)
+    out = distributed_bucket_sort(cluster_of(nodes), keys)
+    np.testing.assert_array_equal(out, np.sort(keys))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=4, max_size=400))
+@settings(max_examples=15, deadline=None)
+def test_distributed_sort_property(keys):
+    """Property: distributed sort == serial sort for arbitrary key sets."""
+    arr = np.array(keys, dtype=np.int64)
+    out = distributed_bucket_sort(cluster_of(2), arr)
+    np.testing.assert_array_equal(out, np.sort(arr))
+
+
+def test_distributed_sort_validation():
+    with pytest.raises(ConfigurationError):
+        distributed_bucket_sort(cluster_of(2), np.array([1, -2]))
+    with pytest.raises(ConfigurationError):
+        distributed_bucket_sort(cluster_of(2), np.array([]))
+
+
+# -- the point of it all ---------------------------------------------------------------
+
+
+def test_distributed_runs_cost_simulated_time_and_bytes():
+    """The functional runs are not free: they move real bytes through the
+    simulated fabric and advance simulated time."""
+    cluster = cluster_of(4)
+    f = np.zeros((24, 24))
+    f[12, 12] = 1.0
+    distributed_jacobi(cluster, f, 10)
+    assert cluster.env.now > 0.0
+    assert cluster.fabric.total_bytes > 10 * 2 * 24 * 8  # halos at least
+
+
+# -- HPL-style distributed LU ---------------------------------------------------------
+
+
+from repro.workloads.functional import distributed_lu
+from repro.workloads.kernels import blocked_lu, lu_solve
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_distributed_lu_matches_serial_kernel(nodes):
+    rng = np.random.default_rng(3)
+    n, nb = 32, 8
+    a = rng.normal(size=(n, n)) + n * np.eye(n)
+    lu_ref, piv_ref = blocked_lu(a, nb=nb)
+    lu, piv = distributed_lu(cluster_of(nodes), a, nb=nb)
+    np.testing.assert_allclose(lu, lu_ref, atol=1e-9)
+    np.testing.assert_array_equal(piv, piv_ref)
+
+
+def test_distributed_lu_solves_system():
+    rng = np.random.default_rng(4)
+    n = 24
+    a = rng.normal(size=(n, n)) + n * np.eye(n)
+    b = rng.normal(size=n)
+    lu, piv = distributed_lu(cluster_of(4), a, nb=4)
+    x = lu_solve(lu, piv, b)
+    np.testing.assert_allclose(x, np.linalg.solve(a, b), atol=1e-8)
+
+
+def test_distributed_lu_needs_pivoting_case():
+    """A matrix whose LU requires row swaps (zero on the diagonal)."""
+    a = np.array(
+        [[0.0, 2.0, 1.0, 3.0],
+         [1.0, 0.0, 2.0, 1.0],
+         [2.0, 1.0, 0.0, 4.0],
+         [1.0, 3.0, 2.0, 0.0]]
+    )
+    lu, piv = distributed_lu(cluster_of(2), a, nb=2)
+    lu_ref, piv_ref = blocked_lu(a, nb=2)
+    np.testing.assert_allclose(lu, lu_ref, atol=1e-12)
+    np.testing.assert_array_equal(piv, piv_ref)
+
+
+def test_distributed_lu_validation():
+    with pytest.raises(ConfigurationError):
+        distributed_lu(cluster_of(2), np.zeros((6, 4)), nb=2)
+    with pytest.raises(ConfigurationError):
+        distributed_lu(cluster_of(2), np.eye(10), nb=4)  # 10 % 4 != 0

@@ -1,0 +1,275 @@
+"""Unit + property tests for the real numeric kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.kernels import (
+    blocked_lu,
+    bucket_sort,
+    cg_solve,
+    ep_gaussian_pairs,
+    fft3d,
+    heat_step_2d,
+    heat_step_3d,
+    ifft3d,
+    jacobi_poisson_solve,
+    jacobi_step,
+    lu_solve,
+    mg_v_cycle,
+    nn,
+    poisson_matrix_2d,
+)
+from repro.workloads.kernels.linalg import hpl_flops
+from repro.workloads.kernels.multigrid import _residual
+from repro.workloads.kernels.random_ep import ep_bin_counts
+
+
+# -- LU / HPL ---------------------------------------------------------------------
+
+
+def test_blocked_lu_factorizes():
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(24, 24)) + 24 * np.eye(24)
+    lu, piv = blocked_lu(a, nb=8)
+    l = np.tril(lu, -1) + np.eye(24)
+    u = np.triu(lu)
+    np.testing.assert_allclose(l @ u, a[piv], atol=1e-9)
+
+
+def test_lu_solve_matches_numpy():
+    rng = np.random.default_rng(2)
+    a = rng.normal(size=(16, 16)) + 16 * np.eye(16)
+    b = rng.normal(size=16)
+    lu, piv = blocked_lu(a, nb=4)
+    x = lu_solve(lu, piv, b)
+    np.testing.assert_allclose(x, np.linalg.solve(a, b), atol=1e-8)
+
+
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=1, max_value=8))
+@settings(max_examples=15, deadline=None)
+def test_blocked_lu_block_size_invariance(n, nb):
+    """Property: the factorization must not depend on the block size."""
+    rng = np.random.default_rng(n * 31 + nb)
+    a = rng.normal(size=(n, n)) + n * np.eye(n)
+    lu1, piv1 = blocked_lu(a, nb=nb)
+    lu2, piv2 = blocked_lu(a, nb=n)  # unblocked reference
+    np.testing.assert_allclose(lu1, lu2, atol=1e-9)
+    np.testing.assert_array_equal(piv1, piv2)
+
+
+def test_blocked_lu_validation():
+    with pytest.raises(ConfigurationError):
+        blocked_lu(np.zeros((3, 4)))
+    with pytest.raises(ConfigurationError):
+        blocked_lu(np.zeros((3, 3)))  # singular
+
+
+def test_hpl_flops_count():
+    assert hpl_flops(1000) == pytest.approx(2 / 3 * 1e9 + 1.5e6)
+
+
+# -- stencils -----------------------------------------------------------------------
+
+
+def test_jacobi_poisson_converges_to_analytic():
+    """-∇²u = 2π² sin(πx) sin(πy) has solution sin(πx) sin(πy)."""
+    n = 33
+    xs = np.linspace(0.0, 1.0, n)
+    x, y = np.meshgrid(xs, xs, indexing="ij")
+    f = 2 * np.pi**2 * np.sin(np.pi * x) * np.sin(np.pi * y)
+    u, iters = jacobi_poisson_solve(f, tol=1e-7)
+    exact = np.sin(np.pi * x) * np.sin(np.pi * y)
+    assert iters < 20_000
+    assert np.max(np.abs(u - exact)) < 5e-3
+
+
+def test_jacobi_step_preserves_boundary():
+    u = np.ones((8, 8))
+    out = jacobi_step(u, np.zeros_like(u), 1.0)
+    np.testing.assert_array_equal(out[0], u[0])
+    np.testing.assert_array_equal(out[-1], u[-1])
+
+
+def test_heat_2d_conserves_interior_mass_roughly():
+    rng = np.random.default_rng(3)
+    u = rng.uniform(size=(32, 32))
+    u[0] = u[-1] = u[:, 0] = u[:, -1] = 0.0
+    stepped = heat_step_2d(u, 0.2, 0.2)
+    # Diffusion smooths: max must not grow.
+    assert stepped.max() <= u.max() + 1e-12
+
+
+def test_heat_3d_smooths_peak():
+    u = np.zeros((9, 9, 9))
+    u[4, 4, 4] = 1.0
+    stepped = heat_step_3d(u, 0.1)
+    assert stepped[4, 4, 4] < 1.0
+    assert stepped[3, 4, 4] > 0.0
+
+
+@given(st.integers(min_value=4, max_value=16))
+@settings(max_examples=10, deadline=None)
+def test_heat_2d_steady_state_fixed_point(n):
+    """Property: a uniform field is a fixed point of the heat step."""
+    u = np.full((n, n), 3.7)
+    np.testing.assert_allclose(heat_step_2d(u, 0.2, 0.2), u)
+
+
+# -- FFT -----------------------------------------------------------------------------
+
+
+def test_fft3d_matches_numpy():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(8, 8, 8)) + 1j * rng.normal(size=(8, 8, 8))
+    np.testing.assert_allclose(fft3d(x), np.fft.fftn(x), atol=1e-10)
+
+
+def test_fft3d_roundtrip():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(4, 8, 16)).astype(complex)
+    np.testing.assert_allclose(ifft3d(fft3d(x)), x, atol=1e-12)
+
+
+# -- sort ---------------------------------------------------------------------------
+
+
+def test_bucket_sort_sorts():
+    rng = np.random.default_rng(6)
+    keys = rng.integers(0, 2**16, size=5000)
+    np.testing.assert_array_equal(bucket_sort(keys), np.sort(keys))
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**6), min_size=0, max_size=300),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=25, deadline=None)
+def test_bucket_sort_property(keys, n_buckets):
+    """Property: output is sorted and a permutation of the input."""
+    arr = np.array(keys, dtype=np.int64)
+    out = bucket_sort(arr, n_buckets)
+    np.testing.assert_array_equal(out, np.sort(arr))
+
+
+def test_bucket_sort_validation():
+    with pytest.raises(ConfigurationError):
+        bucket_sort(np.array([-1, 2]))
+    with pytest.raises(ConfigurationError):
+        bucket_sort(np.array([1, 2]), n_buckets=0)
+
+
+# -- CG ------------------------------------------------------------------------------
+
+
+def test_cg_solves_poisson():
+    a = poisson_matrix_2d(12)
+    rng = np.random.default_rng(7)
+    x_true = rng.normal(size=a.shape[0])
+    b = a @ x_true
+    x, iters = cg_solve(a, b, tol=1e-10)
+    np.testing.assert_allclose(x, x_true, atol=1e-6)
+    assert iters < a.shape[0]
+
+
+def test_cg_size_mismatch():
+    with pytest.raises(ConfigurationError):
+        cg_solve(poisson_matrix_2d(4), np.zeros(3))
+
+
+# -- multigrid ------------------------------------------------------------------------
+
+
+def test_mg_v_cycle_contracts_residual():
+    n = 33
+    xs = np.linspace(0.0, 1.0, n)
+    x, y = np.meshgrid(xs, xs, indexing="ij")
+    f = 2 * np.pi**2 * np.sin(np.pi * x) * np.sin(np.pi * y)
+    u = np.zeros((n, n))
+    h2 = (1.0 / (n - 1)) ** 2
+    r0 = np.linalg.norm(_residual(u, f, h2))
+    for _ in range(4):
+        u = mg_v_cycle(u, f)
+    r1 = np.linalg.norm(_residual(u, f, h2))
+    assert r1 < 0.15 * r0  # a V-cycle should contract fast
+
+
+# -- EP -----------------------------------------------------------------------------
+
+
+def test_ep_gaussian_statistics():
+    x, y, accepted = ep_gaussian_pairs(200_000, seed=1)
+    assert 0.7 < accepted / 200_000 < 0.85  # pi/4 acceptance
+    assert abs(float(np.mean(x))) < 0.01
+    assert abs(float(np.std(x)) - 1.0) < 0.01
+
+
+def test_ep_bin_counts_total():
+    x, y, accepted = ep_gaussian_pairs(10_000, seed=2)
+    counts = ep_bin_counts(x, y)
+    assert counts.sum() == accepted
+    assert counts[0] > counts[3]  # mass concentrates near the origin
+
+
+# -- CNN layers -----------------------------------------------------------------------
+
+
+def test_conv2d_matches_direct_computation():
+    rng = np.random.default_rng(8)
+    x = rng.normal(size=(2, 6, 6))
+    w = rng.normal(size=(3, 2, 3, 3))
+    b = rng.normal(size=3)
+    out = nn.conv2d(x, w, b, stride=1, pad=0)
+    assert out.shape == (3, 4, 4)
+    # Check one output element by hand.
+    expected = float(np.sum(x[:, 1:4, 2:5] * w[1]) + b[1])
+    assert out[1, 1, 2] == pytest.approx(expected)
+
+
+def test_conv2d_with_padding_and_stride():
+    x = np.ones((1, 5, 5))
+    w = np.ones((1, 1, 3, 3))
+    out = nn.conv2d(x, w, np.zeros(1), stride=2, pad=1)
+    assert out.shape == (1, 3, 3)
+    assert out[0, 1, 1] == pytest.approx(9.0)  # full window of ones
+    assert out[0, 0, 0] == pytest.approx(4.0)  # corner sees 2x2
+
+
+def test_maxpool():
+    x = np.arange(16, dtype=float).reshape(1, 4, 4)
+    out = nn.maxpool2d(x, size=2, stride=2)
+    np.testing.assert_array_equal(out[0], [[5, 7], [13, 15]])
+
+
+def test_fc_and_softmax():
+    x = np.array([1.0, 2.0])
+    w = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    out = nn.fc(x, w, np.zeros(3))
+    np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+    probs = nn.softmax(out)
+    assert probs.sum() == pytest.approx(1.0)
+    assert probs[2] > probs[0]
+
+
+def test_conv_cost_shapes_and_flops():
+    cost, shape = nn.conv_cost("c1", (3, 224, 224), k=64, kh=11, kw=11, stride=4, pad=2)
+    assert shape == (64, 55, 55)
+    assert cost.flops == pytest.approx(2 * 64 * 55 * 55 * 3 * 11 * 11)
+    assert cost.weight_bytes == pytest.approx((64 * 3 * 11 * 11 + 64) * 4)
+
+
+def test_fc_cost():
+    cost, out = nn.fc_cost("fc6", 9216, 4096)
+    assert out == 4096
+    assert cost.flops == pytest.approx(2 * 9216 * 4096)
+
+
+def test_layer_validation():
+    with pytest.raises(ConfigurationError):
+        nn.conv2d(np.ones((2, 4, 4)), np.ones((1, 3, 3, 3)), np.zeros(1))
+    with pytest.raises(ConfigurationError):
+        nn.maxpool2d(np.ones((1, 2, 2)), size=5, stride=1)
+    with pytest.raises(ConfigurationError):
+        nn.fc(np.ones(4), np.ones((2, 5)), np.zeros(2))

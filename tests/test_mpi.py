@@ -1,0 +1,405 @@
+"""Unit tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import ANY_SOURCE, ANY_TAG, CommWorld
+from repro.mpi.communicator import payload_nbytes
+
+from tests.conftest import build_tx1_fabric
+
+
+def make_world(n_ranks, ranks_per_node=1):
+    n_nodes = (n_ranks + ranks_per_node - 1) // ranks_per_node
+    env, fabric, nodes = build_tx1_fabric(n_nodes)
+    mapping = [r // ranks_per_node for r in range(n_ranks)]
+    world = CommWorld(env, fabric, mapping)
+    return env, world
+
+
+def run_ranks(env, world, rank_main, *args):
+    """Launch rank_main(comm, *args) for every rank and run to completion."""
+    procs = [env.process(rank_main(comm, *args)) for comm in world.communicators()]
+    for proc in procs:
+        env.run(until=proc)
+    return [p.value for p in procs]
+
+
+# -- payload sizing -------------------------------------------------------------
+
+
+def test_payload_nbytes_numpy():
+    assert payload_nbytes(np.zeros(100, dtype=np.float64)) == 800.0
+
+
+def test_payload_nbytes_scalars_and_containers():
+    assert payload_nbytes(3.14) == 8.0
+    assert payload_nbytes(None) == 8.0
+    assert payload_nbytes([1.0, 2.0]) == 16.0
+    assert payload_nbytes({"a": 1}) > 0
+    assert payload_nbytes(b"abcd") == 4.0
+
+
+# -- point to point ----------------------------------------------------------------
+
+
+def test_send_recv_roundtrip():
+    env, world = make_world(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send({"x": 7}, dest=1, tag=5)
+            return None
+        data = yield from comm.recv(source=0, tag=5)
+        return data
+
+    results = run_ranks(env, world, main)
+    assert results[1] == {"x": 7}
+
+
+def test_send_numpy_array_payload_moves():
+    env, world = make_world(2)
+    payload = np.arange(10, dtype=np.float64)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(payload, dest=1)
+            return None
+        data = yield from comm.recv(source=0)
+        return data
+
+    results = run_ranks(env, world, main)
+    np.testing.assert_array_equal(results[1], payload)
+
+
+def test_recv_any_source_any_tag():
+    env, world = make_world(3)
+
+    def main(comm):
+        if comm.rank == 0:
+            got = []
+            for _ in range(2):
+                got.append((yield from comm.recv(source=ANY_SOURCE, tag=ANY_TAG)))
+            return sorted(got)
+        yield from comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+        return None
+
+    results = run_ranks(env, world, main)
+    assert results[0] == [10, 20]
+
+
+def test_recv_filters_by_tag():
+    env, world = make_world(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send("first", dest=1, tag=1)
+            yield from comm.send("second", dest=1, tag=2)
+            return None
+        second = yield from comm.recv(source=0, tag=2)
+        first = yield from comm.recv(source=0, tag=1)
+        return (first, second)
+
+    results = run_ranks(env, world, main)
+    assert results[1] == ("first", "second")
+
+
+def test_isend_overlaps_with_work():
+    env, world = make_world(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.isend(np.zeros(1_000_000), dest=1)
+            t_before = comm.env.now
+            yield req
+            return comm.env.now - t_before
+        data = yield from comm.recv(source=0)
+        return data.nbytes
+
+    results = run_ranks(env, world, main)
+    assert results[0] > 0.0  # the transfer took simulated time
+    assert results[1] == 8_000_000
+
+
+def test_sendrecv_halo_exchange():
+    env, world = make_world(2)
+
+    def main(comm):
+        other = 1 - comm.rank
+        got = yield from comm.sendrecv(
+            f"halo-from-{comm.rank}", dest=other, source=other
+        )
+        return got
+
+    results = run_ranks(env, world, main)
+    assert results == ["halo-from-1", "halo-from-0"]
+
+
+def test_send_bad_rank_rejected():
+    env, world = make_world(2)
+    comm = world.communicator(0)
+    with pytest.raises(MPIError):
+        env.run(until=env.process(comm.send(1, dest=5)))
+
+
+def test_explicit_nbytes_overrides_payload_size():
+    env, world = make_world(2)
+
+    def main(comm):
+        start = comm.env.now
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(8), dest=1, nbytes=1e8)
+            return comm.env.now - start
+        yield from comm.recv(source=0)
+        return None
+
+    results = run_ranks(env, world, main)
+    # 1e8 bytes at 3.3 Gb/s ~ 0.24 s; an 8-element array would be ~instant.
+    assert results[0] > 0.1
+
+
+def test_comm_stats_accumulate():
+    env, world = make_world(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(100), dest=1)
+        else:
+            yield from comm.recv(source=0)
+
+    run_ranks(env, world, main)
+    assert world.stats[0].messages_sent == 1
+    assert world.stats[1].messages_received == 1
+    assert world.stats[0].bytes_sent == world.stats[1].bytes_received > 800
+
+
+# -- collectives -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 5, 8])
+def test_bcast_all_sizes(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        data = {"v": 99} if comm.rank == 0 else None
+        data = yield from comm.bcast(data, root=0)
+        return data["v"]
+
+    assert run_ranks(env, world, main) == [99] * size
+
+
+@pytest.mark.parametrize("root", [0, 1, 3])
+def test_bcast_nonzero_root(root):
+    env, world = make_world(4)
+
+    def main(comm):
+        data = "payload" if comm.rank == root else None
+        data = yield from comm.bcast(data, root=root)
+        return data
+
+    assert run_ranks(env, world, main) == ["payload"] * 4
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 7, 8])
+def test_reduce_sum(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        total = yield from comm.reduce(comm.rank + 1, root=0)
+        return total
+
+    results = run_ranks(env, world, main)
+    assert results[0] == size * (size + 1) // 2
+    assert all(r is None for r in results[1:])
+
+
+def test_reduce_numpy_elementwise():
+    env, world = make_world(4)
+
+    def main(comm):
+        vec = np.full(3, float(comm.rank))
+        out = yield from comm.reduce(vec, root=0)
+        return out
+
+    results = run_ranks(env, world, main)
+    np.testing.assert_allclose(results[0], [6.0, 6.0, 6.0])
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 6])
+def test_allreduce_everyone_gets_result(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        out = yield from comm.allreduce(comm.rank)
+        return out
+
+    expected = sum(range(size))
+    assert run_ranks(env, world, main) == [expected] * size
+
+
+def test_allreduce_custom_op_max():
+    env, world = make_world(5)
+
+    def main(comm):
+        out = yield from comm.allreduce(comm.rank * 2, op=max)
+        return out
+
+    assert run_ranks(env, world, main) == [8] * 5
+
+
+@pytest.mark.parametrize("size", [2, 4, 5])
+def test_gather(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        items = yield from comm.gather(comm.rank ** 2, root=0)
+        return items
+
+    results = run_ranks(env, world, main)
+    assert results[0] == [r ** 2 for r in range(size)]
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_allgather(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        items = yield from comm.allgather(comm.rank)
+        return items
+
+    assert run_ranks(env, world, main) == [list(range(size))] * size
+
+
+@pytest.mark.parametrize("size", [2, 4, 5])
+def test_scatter(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        items = [f"part-{i}" for i in range(size)] if comm.rank == 0 else None
+        mine = yield from comm.scatter(items, root=0)
+        return mine
+
+    assert run_ranks(env, world, main) == [f"part-{i}" for i in range(size)]
+
+
+def test_scatter_wrong_length_rejected():
+    env, world = make_world(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.scatter([1, 2, 3], root=0)
+        else:
+            yield from comm.recv(source=0)
+
+    with pytest.raises(MPIError):
+        env.run(until=env.process(main(world.communicator(0))))
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 5])
+def test_alltoall(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        items = [f"{comm.rank}->{j}" for j in range(size)]
+        got = yield from comm.alltoall(items)
+        return got
+
+    results = run_ranks(env, world, main)
+    for rank, got in enumerate(results):
+        assert got == [f"{i}->{rank}" for i in range(size)]
+
+
+def test_barrier_aligns_ranks():
+    env, world = make_world(4)
+
+    def main(comm):
+        # Rank r works r seconds, then the barrier aligns everyone.
+        yield comm.env.timeout(float(comm.rank))
+        yield from comm.barrier()
+        return comm.env.now
+
+    results = run_ranks(env, world, main)
+    slowest = max(results)
+    assert all(t >= 3.0 for t in results)
+    assert slowest == pytest.approx(min(results), abs=0.01)
+
+
+def test_collectives_cost_simulated_time():
+    env, world = make_world(8)
+
+    def main(comm):
+        yield from comm.bcast(np.zeros(1_000_000) if comm.rank == 0 else None)
+        return comm.env.now
+
+    results = run_ranks(env, world, main)
+    assert max(results) > 0.0
+
+
+def test_world_validation():
+    env, fabric, _ = build_tx1_fabric(2)
+    with pytest.raises(MPIError):
+        CommWorld(env, fabric, [])
+    with pytest.raises(MPIError):
+        CommWorld(env, fabric, [0, 7])
+    world = CommWorld(env, fabric, [0, 1])
+    with pytest.raises(MPIError):
+        world.communicator(2)
+
+
+def test_multiple_ranks_per_node():
+    env, world = make_world(4, ranks_per_node=2)
+
+    def main(comm):
+        out = yield from comm.allreduce(1)
+        return out
+
+    assert run_ranks(env, world, main) == [4] * 4
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 6])
+def test_reduce_scatter(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        # Rank r contributes items[i] = r*10 + i.
+        items = [comm.rank * 10 + i for i in range(size)]
+        mine = yield from comm.reduce_scatter(items)
+        return mine
+
+    results = run_ranks(env, world, main)
+    for i, got in enumerate(results):
+        assert got == sum(r * 10 + i for r in range(size))
+
+
+def test_reduce_scatter_wrong_length():
+    env, world = make_world(2)
+
+    def main(comm):
+        yield from comm.reduce_scatter([1, 2, 3])
+
+    with pytest.raises(MPIError):
+        env.run(until=env.process(main(world.communicator(0))))
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 8])
+def test_scan_prefix_sums(size):
+    env, world = make_world(size)
+
+    def main(comm):
+        out = yield from comm.scan(comm.rank + 1)
+        return out
+
+    results = run_ranks(env, world, main)
+    assert results == [sum(range(1, r + 2)) for r in range(size)]
+
+
+def test_scan_custom_op():
+    env, world = make_world(4)
+
+    def main(comm):
+        out = yield from comm.scan(comm.rank + 1, op=lambda a, b: a * b)
+        return out
+
+    assert run_ranks(env, world, main) == [1, 2, 6, 24]

@@ -1,0 +1,176 @@
+"""Unit tests for the network fabric and microbenchmarks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import catalog
+from repro.network import Fabric, SwitchSpec, iperf, ping_pong
+from repro.units import gbit_s, to_gbit_s, to_ms, us
+
+from tests.conftest import build_tx1_fabric
+
+
+def test_switch_from_catalog():
+    sw = SwitchSpec.from_catalog(catalog.SWITCH_10G)
+    assert sw.name.startswith("Cisco")
+    assert sw.bisection_bandwidth == pytest.approx(gbit_s(480.0))
+
+
+def test_switch_validation():
+    with pytest.raises(ConfigurationError):
+        SwitchSpec("bad", 0.0, 1e-6)
+    with pytest.raises(ConfigurationError):
+        SwitchSpec("bad", 1e9, -1.0)
+
+
+def test_transfer_duration_matches_model(tx1_pair):
+    env, fabric, nodes = tx1_pair
+    nbytes = 1e8
+    records = []
+
+    def go():
+        rec = yield from fabric.transfer(0, 1, nbytes)
+        records.append(rec)
+
+    env.run(until=env.process(go()))
+    rec = records[0]
+    expected = (
+        nodes[0].nic.latency_one_way
+        + fabric.switch.latency
+        + nbytes / nodes[0].nic.achievable_rate
+    )
+    assert rec.seconds == pytest.approx(expected)
+    assert rec.queue_seconds == 0.0
+
+
+def test_transfer_records_node_traffic(tx1_pair):
+    env, fabric, nodes = tx1_pair
+
+    def go():
+        yield from fabric.transfer(0, 1, 1000.0)
+
+    env.run(until=env.process(go()))
+    assert nodes[0].network_bytes_sent == 1000.0
+    assert nodes[1].network_bytes_received == 1000.0
+    assert fabric.total_bytes == 1000.0
+    assert fabric.total_transfers == 1
+
+
+def test_loopback_skips_nic(tx1_pair):
+    env, fabric, nodes = tx1_pair
+
+    def go():
+        yield from fabric.transfer(0, 0, 1e6)
+
+    env.run(until=env.process(go()))
+    assert nodes[0].network_bytes_sent == 0.0
+    assert fabric.total_bytes == 0.0
+    # Loopback still takes memcpy time.
+    assert env.now > 0.0
+
+
+def test_receiver_contention_serializes(tx1_quad):
+    """Two senders to the same receiver must serialize at its RX path."""
+    env, fabric, nodes = tx1_quad
+    nbytes = 1e8
+    done = []
+
+    def sender(src):
+        rec = yield from fabric.transfer(src, 3, nbytes)
+        done.append(rec)
+
+    env.process(sender(0))
+    env.process(sender(1))
+    env.run()
+    one = nbytes / nodes[0].nic.achievable_rate
+    assert max(r.end for r in done) >= 2 * one
+
+
+def test_distinct_receivers_run_parallel(tx1_quad):
+    env, fabric, nodes = tx1_quad
+    nbytes = 1e8
+    done = []
+
+    def sender(src, dst):
+        rec = yield from fabric.transfer(src, dst, nbytes)
+        done.append(rec)
+
+    env.process(sender(0, 2))
+    env.process(sender(1, 3))
+    env.run()
+    one = nbytes / nodes[0].nic.achievable_rate
+    # Both finish in ~one serialization time, not two.
+    assert max(r.end for r in done) < 1.5 * one
+
+
+def test_unknown_node_rejected(tx1_pair):
+    env, fabric, _ = tx1_pair
+
+    def go():
+        yield from fabric.transfer(0, 99, 10.0)
+
+    with pytest.raises(ConfigurationError):
+        env.run(until=env.process(go()))
+
+
+def test_negative_bytes_rejected(tx1_pair):
+    env, fabric, _ = tx1_pair
+    with pytest.raises(ConfigurationError):
+        # The generator raises eagerly on the first next() inside process().
+        env.run(until=env.process(fabric.transfer(0, 1, -5.0)))
+
+
+def test_duplicate_attach_rejected(tx1_pair):
+    env, fabric, nodes = tx1_pair
+    with pytest.raises(ConfigurationError):
+        fabric.attach(nodes[0])
+
+
+# -- microbenchmarks (§III-A numbers) -------------------------------------------
+
+
+def test_iperf_10gbe_near_3_3_gbit():
+    env, fabric, _ = build_tx1_fabric(2, nic=catalog.XGBE_PCIE)
+    rate = iperf(env, fabric, 0, 1, duration_bytes=5e9)
+    assert to_gbit_s(rate) == pytest.approx(3.3, rel=0.02)
+
+
+def test_iperf_1gbe_matches_paper():
+    env, fabric, _ = build_tx1_fabric(
+        2, nic=catalog.GBE_ONBOARD, switch=SwitchSpec.from_catalog(catalog.SWITCH_1G)
+    )
+    rate = iperf(env, fabric, 0, 1, duration_bytes=5e9)
+    # Paper SIII-A: 0.53 Gb/s between two TX1 nodes over the on-board NIC.
+    assert to_gbit_s(rate) == pytest.approx(0.53, rel=0.02)
+
+
+def test_ping_pong_latency_ordering():
+    env10, fab10, _ = build_tx1_fabric(2, nic=catalog.XGBE_PCIE)
+    rtt10 = ping_pong(env10, fab10, 0, 1)
+    env1, fab1, _ = build_tx1_fabric(
+        2, nic=catalog.GBE_ONBOARD, switch=SwitchSpec.from_catalog(catalog.SWITCH_1G)
+    )
+    rtt1 = ping_pong(env1, fab1, 0, 1)
+    # Paper: ~0.1 ms -> ~0.05 ms round trip (NIC + switch hops).
+    assert rtt10 < rtt1
+    assert 0.04 < to_ms(rtt10) < 0.07
+    assert 0.09 < to_ms(rtt1) < 0.13
+
+
+def test_bisection_throttles_oversubscription():
+    """With a tiny-bisection switch, concurrent flows share its capacity."""
+    tiny = SwitchSpec("tiny", bisection_bandwidth=gbit_s(3.3), latency=us(3.0))
+    env, fabric, nodes = build_tx1_fabric(4, nic=catalog.XGBE_PCIE, switch=tiny)
+    nbytes = 1e8
+    done = []
+
+    def sender(src, dst):
+        rec = yield from fabric.transfer(src, dst, nbytes)
+        done.append(rec)
+
+    env.process(sender(0, 2))
+    env.process(sender(1, 3))
+    env.run()
+    one_alone = nbytes / nodes[0].nic.achievable_rate
+    # Two flows over a bisection equal to one NIC: ~2x slower than parallel.
+    assert max(r.end for r in done) >= 1.8 * one_alone

@@ -1,0 +1,79 @@
+"""Tests for time-resolved power: busy intervals and the 10 Hz meter trace."""
+
+import pytest
+
+from repro.cluster import Cluster, Job, Metering
+from repro.cluster.cluster import tx1_cluster_spec
+from repro.cuda import KernelSpec
+from repro.hardware import catalog
+from repro.hardware.power import PowerModel
+from repro.hardware.cpu import WorkloadCPUProfile
+from repro.units import mib
+
+PROFILE = WorkloadCPUProfile(name="t", working_set_per_rank_bytes=mib(2))
+
+
+def test_power_at_baseline_when_idle():
+    pm = PowerModel(catalog.TX1_POWER)
+    assert pm.power_at(5.0) == catalog.TX1_POWER.baseline_watts
+
+
+def test_power_at_reflects_intervals():
+    pm = PowerModel(catalog.TX1_POWER)
+    pm.add_cpu_busy(2.0, start=1.0)
+    pm.add_gpu_busy(4.0, start=2.0)
+    base = catalog.TX1_POWER.baseline_watts
+    assert pm.power_at(0.5) == base
+    assert pm.power_at(1.5) == base + catalog.TX1_POWER.cpu_core_active_watts
+    assert pm.power_at(2.5) == pytest.approx(
+        base
+        + catalog.TX1_POWER.cpu_core_active_watts
+        + catalog.TX1_POWER.gpu_active_watts
+    )
+    assert pm.power_at(5.9) == base + catalog.TX1_POWER.gpu_active_watts
+    assert pm.power_at(7.0) == base
+
+
+def test_intervals_cleared_on_reset():
+    pm = PowerModel(catalog.TX1_POWER)
+    pm.add_gpu_busy(1.0, start=0.0)
+    pm.reset()
+    assert pm.power_at(0.5) == catalog.TX1_POWER.baseline_watts
+
+
+def test_interval_energy_consistent_with_accumulators():
+    """The interval view and the accumulator view must integrate to the
+    same energy."""
+    pm = PowerModel(catalog.TX1_POWER)
+    pm.add_cpu_busy(3.0, start=0.0)
+    pm.add_gpu_busy(2.0, start=1.0)
+    total = 10.0
+    accum = pm.energy_joules(total)
+    # Fine-grained numeric integration of power_at.
+    steps = 10_000
+    dt = total / steps
+    numeric = sum(pm.power_at((i + 0.5) * dt) * dt for i in range(steps))
+    assert numeric == pytest.approx(accum, rel=1e-3)
+
+
+def test_sample_trace_shows_activity_structure():
+    """The meter trace must rise during the busy phase and fall after."""
+    cluster = Cluster(tx1_cluster_spec(2))
+    job = Job(cluster)
+
+    def workload(ctx):
+        kernel = KernelSpec("k", flops=3e10, dram_bytes=0.0)
+        yield from ctx.gpu_kernel(kernel)
+
+    result = job.run(workload)
+    # Sample past the end of the run: tail must drop back to baseline.
+    trace = Metering(cluster).sample_trace(result.elapsed_seconds * 2, hz=50.0)
+    assert max(trace) > trace[-1]
+    busy, idle = trace[0], trace[-1]
+    assert busy >= idle + catalog.TX1_POWER.gpu_active_watts * 2 * 0.9
+
+
+def test_sample_trace_rejects_zero_duration():
+    cluster = Cluster(tx1_cluster_spec(1))
+    with pytest.raises(ValueError):
+        Metering(cluster).sample_trace(0.0)

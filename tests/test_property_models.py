@@ -1,0 +1,188 @@
+"""Hypothesis property tests for the analytical hardware/analysis models."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fit_pls
+from repro.core import ExtendedRoofline
+from repro.hardware import catalog
+from repro.hardware.cache import CacheLevel
+from repro.hardware.cpu import CPUCoreModel, WorkloadCPUProfile
+from repro.hardware.gpu import GPUModel
+from repro.scalability import fit_usl, r_squared
+from repro.units import gbit_s, gbyte_s, gflops, mib
+
+
+# -- cache model ------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=1e3, max_value=1e9),
+    st.floats(min_value=1e3, max_value=1e9),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_miss_monotone_in_working_set(ws_a, ws_b):
+    level = CacheLevel("L2", mib(2), max_miss_ratio=0.9)
+    lo, hi = sorted((ws_a, ws_b))
+    assert level.miss_ratio(lo) <= level.miss_ratio(hi) + 1e-12
+
+
+@given(st.integers(min_value=1, max_value=48), st.integers(min_value=1, max_value=48))
+@settings(max_examples=40, deadline=None)
+def test_cache_miss_monotone_in_sharers(a, b):
+    level = CacheLevel("L2", mib(16), shared_by=48)
+    lo, hi = sorted((a, b))
+    assert level.miss_ratio(mib(4), lo) <= level.miss_ratio(mib(4), hi) + 1e-12
+
+
+# -- CPU model -----------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_time_monotone_in_entropy(e_a, e_b):
+    model = CPUCoreModel(catalog.CORTEX_A57, catalog.TX1_CACHES)
+    lo, hi = sorted((e_a, e_b))
+    t_lo = model.seconds_for(
+        WorkloadCPUProfile(name="p", branch_entropy=lo), 1e8
+    )
+    t_hi = model.seconds_for(
+        WorkloadCPUProfile(name="p", branch_entropy=hi), 1e8
+    )
+    assert t_lo <= t_hi + 1e-12
+
+
+@given(st.floats(min_value=1e6, max_value=1e10))
+@settings(max_examples=40, deadline=None)
+def test_cpu_time_linear_in_instructions(instructions):
+    model = CPUCoreModel(catalog.CORTEX_A57, catalog.TX1_CACHES)
+    profile = WorkloadCPUProfile(name="p")
+    one = model.seconds_for(profile, instructions)
+    two = model.seconds_for(profile, 2.0 * instructions)
+    assert two == pytest.approx(2.0 * one, rel=1e-9)
+
+
+@given(st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_thunderx_never_out_predicts_a57(entropy):
+    """For any realistic branch stream (entropy >= 0.05; below that both
+    predictors are near their floors) the ThunderX mispredicts more."""
+    assert catalog.THUNDERX_CORE.branch_mispredict_rate(
+        entropy
+    ) >= catalog.CORTEX_A57.branch_mispredict_rate(entropy) - 1e-12
+
+
+# -- GPU model -------------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e13),
+    st.floats(min_value=0.0, max_value=1e12),
+)
+@settings(max_examples=50, deadline=None)
+def test_gpu_kernel_time_bounded_below_by_each_roof(flops, dram_bytes):
+    model = GPUModel(catalog.TX1_GPU)
+    cost = model.kernel_cost(flops, dram_bytes)
+    assert cost.seconds >= cost.compute_seconds - 1e-12
+    assert cost.seconds >= cost.memory_seconds - 1e-12
+    assert cost.seconds == pytest.approx(
+        max(cost.compute_seconds, cost.memory_seconds)
+    )
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e12),
+    st.floats(min_value=1.0, max_value=1e11),
+)
+@settings(max_examples=50, deadline=None)
+def test_gpu_bypass_never_faster(flops, dram_bytes):
+    model = GPUModel(catalog.TX1_GPU)
+    cached = model.kernel_cost(flops, dram_bytes)
+    bypass = model.kernel_cost(flops, dram_bytes, bypass_cache=True)
+    assert bypass.seconds >= cached.seconds - 1e-12
+
+
+# -- extended roofline ------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=1e-3, max_value=1e4),
+    st.floats(min_value=1e-3, max_value=1e6),
+)
+@settings(max_examples=60, deadline=None)
+def test_attainable_is_min_of_roofs(oi, ni):
+    model = ExtendedRoofline(
+        "m", peak_flops=gflops(16),
+        memory_bandwidth=gbyte_s(20), network_bandwidth=gbit_s(3.3),
+    )
+    bound = model.attainable(oi, ni)
+    assert bound <= model.peak_flops + 1e-6
+    assert bound <= model.memory_bandwidth * oi + 1e-6
+    assert bound <= model.network_bandwidth * ni + 1e-6
+    assert bound == pytest.approx(
+        min(model.peak_flops, model.memory_bandwidth * oi,
+            model.network_bandwidth * ni)
+    )
+
+
+@given(
+    st.floats(min_value=1e-3, max_value=1e4),
+    st.floats(min_value=1e-3, max_value=1e6),
+    st.floats(min_value=1.1, max_value=10.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_faster_network_never_lowers_attainable(oi, ni, factor):
+    base = ExtendedRoofline("b", gflops(16), gbyte_s(20), gbit_s(1.0))
+    fast = ExtendedRoofline("f", gflops(16), gbyte_s(20), gbit_s(factor))
+    assert fast.attainable(oi, ni) >= base.attainable(oi, ni) - 1e-9
+
+
+# -- USL / r^2 ------------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.0, max_value=0.3),
+    st.floats(min_value=0.0, max_value=1.5e-4),
+)
+@settings(max_examples=40, deadline=None)
+def test_usl_roundtrip_recovers_parameters(sigma, kappa):
+    """Property: fitting noiseless USL data recovers the model closely."""
+    nodes = [2.0, 4.0, 8.0, 16.0, 32.0]
+    speedups = [p / (1 + sigma * (p - 1) + kappa * p * (p - 1)) for p in nodes]
+    fit = fit_usl(nodes, speedups)
+    predicted = [float(fit.speedup(p)) for p in nodes]
+    assert r_squared(np.array(speedups), np.array(predicted)) > 0.999
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_r_squared_upper_bound(observed):
+    obs = np.array(observed)
+    assert r_squared(obs, obs) == pytest.approx(1.0)
+    assume(float(obs.std()) > 0)
+    shuffled = np.roll(obs, 1)
+    assert r_squared(obs, shuffled) <= 1.0 + 1e-12
+
+
+# -- PLS -------------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_pls_scale_invariance_of_selection(seed):
+    """Property: rescaling a variable's units must not change the top pick
+    (standardization inside fit_pls)."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(1.0, 0.5, size=(10, 3))
+    y = 3.0 * X[:, 1] + 0.05 * rng.normal(size=10)
+    names = ["a", "b", "c"]
+    top1 = fit_pls(X, y, names).top_variables(1)[0][0]
+    X_scaled = X.copy()
+    X_scaled[:, 1] *= 1e6  # change units of the driving variable
+    top1_scaled = fit_pls(X_scaled, y, names).top_variables(1)[0][0]
+    assert top1 == top1_scaled == "b"

@@ -1,0 +1,150 @@
+"""Hypothesis property tests for the discrete-event kernel."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Container, Environment, Resource, Store
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_sequential_timeouts_sum(delays):
+    """Property: sequential timeouts advance time by exactly their sum."""
+    env = Environment()
+
+    def proc(env):
+        for d in delays:
+            yield env.timeout(d)
+
+    env.process(proc(env))
+    env.run()
+    assert abs(env.now - sum(delays)) < 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_parallel_timeouts_max(delays):
+    """Property: parallel processes finish at the max of their delays."""
+    env = Environment()
+
+    def proc(env, d):
+        yield env.timeout(d)
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert abs(env.now - max(delays)) < 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=12),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_conservation(holds, capacity):
+    """Property: a capacity-c resource never admits more than c users, and
+    total busy time is conserved (makespan >= sum/capacity, >= max)."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    peak = [0]
+
+    def user(env, res, hold):
+        with res.request() as req:
+            yield req
+            peak[0] = max(peak[0], res.count)
+            yield env.timeout(hold)
+
+    for hold in holds:
+        env.process(user(env, res, hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert env.now >= max(holds) - 1e-9
+    assert env.now >= sum(holds) / capacity - 1e-9
+    assert res.count == 0
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_event_ordering_matches_heap(delays):
+    """Property: completion order equals sorted delay order (stable ties)."""
+    env = Environment()
+    order = []
+
+    def proc(env, i, d):
+        yield env.timeout(d)
+        order.append(i)
+
+    for i, d in enumerate(delays):
+        env.process(proc(env, i, d))
+    env.run()
+    expected = [i for d, i in sorted((d, i) for i, d in enumerate(delays))]
+    assert order == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_store_is_fifo(items):
+    """Property: a Store delivers items in insertion order."""
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env, store):
+        for _ in items:
+            got.append((yield store.get()))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == items
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=15),
+    st.floats(min_value=20.0, max_value=100.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_container_level_conserved(amounts, capacity):
+    """Property: after matched puts and gets, the level returns to start."""
+    env = Environment()
+    tank = Container(env, capacity=capacity, init=0.0)
+
+    def producer(env, tank):
+        for a in amounts:
+            yield tank.put(min(a, capacity))
+
+    def consumer(env, tank):
+        for a in amounts:
+            yield tank.get(min(a, capacity))
+
+    env.process(producer(env, tank))
+    env.process(consumer(env, tank))
+    env.run()
+    assert abs(tank.level) < 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_allof_anyof_bracketing(delays):
+    """Property: AnyOf fires at min(delays), AllOf at max(delays)."""
+    env = Environment()
+    stamps = {}
+
+    def waiter(env):
+        events_any = [env.timeout(d) for d in delays]
+        events_all = [env.timeout(d) for d in delays]
+        yield AnyOf(env, events_any)
+        stamps["any"] = env.now
+        yield AllOf(env, events_all)
+        stamps["all"] = env.now
+
+    env.process(waiter(env))
+    env.run()
+    assert abs(stamps["any"] - min(delays)) < 1e-9
+    assert abs(stamps["all"] - max(delays)) < 1e-9

@@ -1,0 +1,59 @@
+"""Tests for the experiment-result artifact writer."""
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    QUICK_EXPERIMENTS,
+    available_experiments,
+    run_experiments,
+    write_report,
+)
+
+
+def test_available_experiments_cover_the_paper():
+    names = available_experiments()
+    for required in ("fig1_fig2", "table2", "table3", "table6", "fig8",
+                     "fig9", "fig10", "microbench"):
+        assert required in names
+
+
+def test_run_experiments_quick_subset():
+    results = run_experiments(("microbench",))
+    assert set(results) == {"microbench"}
+    assert "iperf" in results["microbench"]["text"]
+    data = results["microbench"]["data"]
+    assert data["10G"]["iperf_gbit"] > data["1G"]["iperf_gbit"]
+
+
+def test_run_experiments_unknown_name():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiments(("fig99",))
+
+
+def test_write_report_roundtrip(tmp_path):
+    json_path, md_path = write_report(tmp_path, names=("microbench", "table3"))
+    assert json_path.exists() and md_path.exists()
+
+    payload = json.loads(json_path.read_text())
+    assert set(payload) == {"microbench", "table3"}
+    # Dataclasses serialize to dicts with their field names.
+    rows = payload["table3"]
+    assert any(row["model"] == "zero-copy" and row["runtime"] > 1.5 for row in rows)
+
+    md = md_path.read_text()
+    assert "## microbench" in md and "## table3" in md
+    assert "zero-copy" in md
+
+
+def test_report_json_is_deterministic(tmp_path):
+    a, _ = write_report(tmp_path / "a", names=("microbench",))
+    b, _ = write_report(tmp_path / "b", names=("microbench",))
+    assert a.read_text() == b.read_text()
+
+
+def test_quick_subset_runs(tmp_path):
+    json_path, _ = write_report(tmp_path, names=QUICK_EXPERIMENTS)
+    payload = json.loads(json_path.read_text())
+    assert set(payload) == set(QUICK_EXPERIMENTS)

@@ -1,0 +1,351 @@
+"""Unit tests for the discrete-event kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_time_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_time():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(1.5)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [1.5]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    stamps = []
+
+    def proc(env):
+        for delay in (1.0, 2.0, 3.0):
+            yield env.timeout(delay)
+            stamps.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert stamps == [1.0, 3.0, 6.0]
+
+
+def test_parallel_processes_interleave():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append((name, env.now))
+
+    env.process(proc(env, "slow", 2.0))
+    env.process(proc(env, "fast", 1.0))
+    env.run()
+    assert order == [("fast", 1.0), ("slow", 2.0)]
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+            seen.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=3.5)
+    assert seen == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.process(iter_timeout(env, 5.0))
+    env.run()
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return 42
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 42
+    assert env.now == 2.0
+
+
+def test_process_waits_on_process():
+    env = Environment()
+    result = []
+
+    def child(env):
+        yield env.timeout(3.0)
+        return "child-done"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        result.append((value, env.now))
+
+    env.process(parent(env))
+    env.run()
+    assert result == [("child-done", 3.0)]
+
+
+def test_unhandled_process_exception_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_exception_caught_by_waiter_is_defused():
+    env = Environment()
+    caught = []
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def waiter(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def opener(env, gate):
+        yield env.timeout(5.0)
+        gate.succeed("open")
+
+    def waiter(env, gate):
+        value = yield gate
+        log.append((value, env.now))
+
+    env.process(opener(env, gate))
+    env.process(waiter(env, gate))
+    env.run()
+    assert log == [("open", 5.0)]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    log = []
+
+    def waiter(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(4.0, value="b")
+        results = yield AllOf(env, [t1, t2])
+        log.append((sorted(results.values()), env.now))
+
+    env.process(waiter(env))
+    env.run()
+    assert log == [(["a", "b"], 4.0)]
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    log = []
+
+    def waiter(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(9.0, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        log.append((list(results.values()), env.now))
+
+    env.process(waiter(env))
+    env.run()
+    assert log == [(["fast"], 1.0)]
+
+
+def test_empty_allof_fires_immediately():
+    env = Environment()
+    log = []
+
+    def waiter(env):
+        yield env.all_of([])
+        log.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert log == [0.0]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            log.append((intr.cause, env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("wake up", 2.0)]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_process_needs_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_active_process_visibility():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [p]
+    assert env.active_process is None
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    # The Timeout constructor schedules itself.
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_queue_is_inf():
+    env = Environment()
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in "abc":
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_step_without_events_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return {"answer": 42}
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {"answer": 42}
+    assert p.ok

@@ -1,0 +1,115 @@
+"""Unit tests for tracing, Paraver chopping, and trace integration with jobs."""
+
+import pytest
+
+from repro.cluster import Cluster, Job
+from repro.cluster.cluster import tx1_cluster_spec
+from repro.errors import TraceError
+from repro.hardware.cpu import WorkloadCPUProfile
+from repro.tracing import Tracer, chop_iterations, chop_window
+from repro.tracing.events import CommRecord, RecvRecord, StateRecord, Trace
+from repro.units import mib
+
+PROFILE = WorkloadCPUProfile(name="t", working_set_per_rank_bytes=mib(4))
+
+
+def test_tracer_collects_states():
+    tracer = Tracer(2)
+    tracer.record_state(0, "compute", 0.0, 1.0)
+    tracer.record_state(1, "gpu", 0.5, 2.5)
+    trace = tracer.finalize()
+    assert trace.duration == 2.5
+    assert trace.compute_seconds(0) == 1.0
+    assert trace.compute_seconds(1) == 2.0
+    assert trace.compute_seconds_all() == [1.0, 2.0]
+
+
+def test_tracer_rank_validation():
+    tracer = Tracer(2)
+    with pytest.raises(TraceError):
+        tracer.record_state(5, "compute", 0.0, 1.0)
+    with pytest.raises(TraceError):
+        tracer.record_state(0, "compute", 2.0, 1.0)
+
+
+def test_trace_bytes_accounting():
+    tracer = Tracer(2)
+    tracer.record_comm(0, 1, 1000.0, 0.0, 0.1, tag=3)
+    tracer.record_comm(1, 0, 500.0, 0.2, 0.3, tag=4)
+    trace = tracer.finalize()
+    assert trace.bytes_sent(0) == 1000.0
+    assert trace.total_network_bytes() == 1500.0
+
+
+def test_rank_ops_ordering():
+    tracer = Tracer(1)
+    tracer.record_comm(0, 0, 10.0, 1.0, 1.1, tag=0)
+    tracer.record_state(0, "compute", 0.0, 1.0)
+    tracer.record_recv(0, 0, 10.0, 1.1, 1.2, tag=0)
+    trace = tracer.finalize()
+    ops = trace.rank_ops(0)
+    assert isinstance(ops[0], StateRecord)
+    assert isinstance(ops[1], CommRecord)
+    assert isinstance(ops[2], RecvRecord)
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(TraceError):
+        Trace(n_ranks=0)
+
+
+def test_chop_window_clips_states():
+    tracer = Tracer(1)
+    tracer.record_state(0, "compute", 0.0, 10.0)
+    trace = tracer.finalize()
+    window = chop_window(trace, 2.0, 5.0)
+    assert window.duration == 3.0
+    assert window.compute_seconds(0) == 3.0
+
+
+def test_chop_window_empty_rejected():
+    tracer = Tracer(1)
+    tracer.record_state(0, "compute", 0.0, 1.0)
+    with pytest.raises(TraceError):
+        chop_window(tracer.finalize(), 5.0, 5.0)
+
+
+def test_chop_iterations_with_markers():
+    tracer = Tracer(1)
+    for i in range(4):
+        tracer.record_state(0, "compute", float(i), float(i) + 0.8)
+        tracer.mark(0, "iteration", float(i))
+    tracer.mark(0, "iteration", 4.0)
+    trace = tracer.finalize()
+    windows = chop_iterations(trace)
+    assert len(windows) == 4
+    for w in windows:
+        assert w.duration == pytest.approx(1.0)
+        assert w.compute_seconds(0) == pytest.approx(0.8)
+
+
+def test_chop_iterations_no_markers_returns_whole():
+    tracer = Tracer(1)
+    tracer.record_state(0, "compute", 0.0, 5.0)
+    trace = tracer.finalize()
+    assert chop_iterations(trace) == [trace]
+
+
+def test_job_populates_trace():
+    """End to end: a traced job records states, sends, and receives."""
+    spec = tx1_cluster_spec(4)
+    cluster = Cluster(spec)
+    tracer = Tracer(4)
+    job = Job(cluster, ranks_per_node=1, tracer=tracer)
+
+    def workload(ctx):
+        yield from ctx.cpu_compute(PROFILE, 1e7)
+        yield from ctx.comm.allreduce(1.0)
+
+    job.run(workload)
+    trace = tracer.finalize()
+    assert all(c > 0 for c in trace.compute_seconds_all())
+    assert trace.total_network_bytes() > 0
+    assert len(trace.recvs) > 0
+    # Every send matches a receive in a collective-only comm pattern.
+    assert len(trace.comms) == len(trace.recvs)

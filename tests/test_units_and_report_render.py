@@ -1,0 +1,82 @@
+"""Unit tests for repro.units and the text renderers' edge cases."""
+
+import pytest
+
+from repro import units
+from repro.core import (
+    ExtendedRoofline,
+    RooflinePoint,
+    render_roofline_ascii,
+    render_table2,
+)
+from repro.units import gbit_s, gbyte_s, gflops
+
+
+# -- units ------------------------------------------------------------------------
+
+
+def test_data_sizes():
+    assert units.kib(1) == 1024
+    assert units.mib(1) == 1024**2
+    assert units.gib(2) == 2 * 1024**3
+
+
+def test_bandwidth_roundtrip():
+    assert units.to_gbit_s(units.gbit_s(10.0)) == pytest.approx(10.0)
+    assert units.to_gbyte_s(units.gbyte_s(25.6)) == pytest.approx(25.6)
+    assert units.gbit_s(8.0) == pytest.approx(units.gbyte_s(1.0))
+
+
+def test_compute_units():
+    assert units.to_gflops(units.gflops(16.0)) == pytest.approx(16.0)
+    assert units.mflops_per_watt(units.gflops(1.0), 10.0) == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        units.mflops_per_watt(1e9, 0.0)
+
+
+def test_time_and_frequency():
+    assert units.ms(2.0) == pytest.approx(0.002)
+    assert units.us(5.0) == pytest.approx(5e-6)
+    assert units.to_ms(0.25) == pytest.approx(250.0)
+    assert units.ghz(1.73) == pytest.approx(1.73e9)
+    assert units.mhz(998.0) == pytest.approx(0.998e9)
+
+
+# -- renderer edge cases -----------------------------------------------------------
+
+
+def _model():
+    return ExtendedRoofline("m", gflops(16), gbyte_s(20), gbit_s(3.3))
+
+
+def test_roofline_render_without_points():
+    art = render_roofline_ascii(_model())
+    assert "peak 16.0 GFLOPS" in art
+    assert "/" in art  # the memory slope is drawn
+
+
+def test_roofline_render_point_outside_range_clamps():
+    model = _model()
+    points = [
+        RooflinePoint("x", 1e-6, 1e-6, 1.0, model),  # far left/bottom
+        RooflinePoint("y", 1e9, 1e9, model.peak_flops, model),  # far right/top
+    ]
+    art = render_roofline_ascii(model, points)
+    assert "X = x" in art and "Y = y" in art
+
+
+def test_roofline_render_custom_geometry():
+    art = render_roofline_ascii(_model(), width=32, height=8)
+    grid_lines = art.splitlines()[1:9]
+    assert all(len(line) == 32 for line in grid_lines)
+
+
+def test_table2_empty():
+    assert render_table2({}).count("\n") == 0  # header only
+
+
+def test_table2_percent_column():
+    model = _model()
+    point = RooflinePoint("w", 0.5, 100.0, model.attainable(0.5, 100.0), model)
+    table = render_table2({"10G": [point]})
+    assert "100.0" in table  # exactly at the bound
