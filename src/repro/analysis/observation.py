@@ -59,7 +59,7 @@ def build_observation_matrix(
     for i, bench in enumerate(benchmarks):
         for j, var in enumerate(variables):
             denom = metrics_b[bench][var]
-            if denom == 0.0:
+            if denom == 0.0:  # repro: noqa[RL006] exact-zero guard before division
                 raise AnalysisError(f"zero baseline for {var!r} on {bench!r}")
             X[i, j] = metrics_a[bench][var] / denom
         if runtime_b[bench] <= 0:

@@ -133,7 +133,7 @@ def fit_pls(
     x_mean, x_std = X.mean(axis=0), X.std(axis=0, ddof=0)
     x_std = np.where(x_std > 0, x_std, 1.0)
     y_mean, y_std = float(y.mean()), float(y.std(ddof=0))
-    if y_std == 0.0:
+    if y_std == 0.0:  # repro: noqa[RL006] exact-zero guard: constant response
         raise AnalysisError("response vector is constant")
     Xs = (X - x_mean) / x_std
     ys = (y - y_mean) / y_std

@@ -28,7 +28,8 @@ from repro.cluster.cluster import ClusterSpec, thunderx_cluster_spec, tx1_cluste
 from repro.hardware import catalog
 from repro.hardware.node import NodeSpec
 from repro.mpi.communicator import Communicator
-from repro.units import ghz
+from repro.errors import AnalysisError
+from repro.units import ghz, kib
 from repro.workloads import JacobiWorkload, TeaLeaf3DWorkload, npb_workload
 from repro.workloads.base import Workload
 
@@ -100,7 +101,7 @@ def affinity_stability_study(benchmark: str = "bt", runs: int = 8) -> AffinityRe
     standard deviation from 9.3 s to 0.3 s across runs.
     """
     if runs < 2:
-        raise ValueError("need at least two runs for a standard deviation")
+        raise AnalysisError("need at least two runs for a standard deviation")
 
     def sample(pin: bool, seed: int) -> float:
         workload = npb_workload(benchmark)
@@ -157,7 +158,7 @@ def bcast_algorithm_ablation(nodes: int = 16, network: str = "10G") -> dict[str,
 
     original = Communicator.BCAST_LARGE_THRESHOLD
     try:
-        Communicator.BCAST_LARGE_THRESHOLD = 256 * 1024.0
+        Communicator.BCAST_LARGE_THRESHOLD = kib(256)
         vdg = HplWorkload().run_on(Cluster(tx1_cluster_spec(nodes, network)))
         Communicator.BCAST_LARGE_THRESHOLD = math.inf
         binomial = HplWorkload().run_on(Cluster(tx1_cluster_spec(nodes, network)))

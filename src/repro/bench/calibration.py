@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware import catalog
-from repro.units import to_gbit_s, to_gflops
+from repro.units import to_gbit_s, to_gbyte_s, to_gflops, to_ghz
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ def table5_rows() -> list[tuple[str, str, str]]:
     return [
         ("ISA", "64-bit ARM v8", "64-bit ARM v8 & PTX"),
         ("CPU cores", str(cav.core_count), f"{tx1.core_count} Cortex-A57"),
-        ("CPU freq", f"{cav.cpu.frequency_hz/1e9:.2f} GHz", f"{tx1.cpu.frequency_hz/1e9:.2f} GHz"),
+        ("CPU freq", f"{to_ghz(cav.cpu.frequency_hz):.2f} GHz", f"{to_ghz(tx1.cpu.frequency_hz):.2f} GHz"),
         ("GPGPU", "-", f"{tx1.gpu.sm_count} Maxwell SM"),
         ("L1 (I/D)", "78KB/32KB", "48KB/32KB"),
         ("L2 size", "16 MB", "2 MB"),
@@ -63,10 +63,10 @@ def table7_rows() -> list[tuple[str, str, str]]:
     return [
         ("Cores", f"{gtx.sm_count} Maxwell SM ({gtx.cuda_cores} CUDA)",
          f"{tx1.sm_count} Maxwell SM ({tx1.cuda_cores} CUDA)"),
-        ("GPGPU freq", f"{gtx.frequency_hz/1e9:.2f} GHz", f"{tx1.frequency_hz/1e9:.3f} GHz"),
+        ("GPGPU freq", f"{to_ghz(gtx.frequency_hz):.2f} GHz", f"{to_ghz(tx1.frequency_hz):.3f} GHz"),
         ("L2 size", f"{gtx.l2_bytes/2**20:.1f} MB", f"{tx1.l2_bytes/2**20:.2f} MB"),
         ("Memory", "4 GB GDDR5", "4 GB LPDDR4 (shared)"),
-        ("Memory bandwidth", f"{gtx.memory_bandwidth/1e9:.0f} GB/s",
+        ("Memory bandwidth", f"{to_gbyte_s(gtx.memory_bandwidth):.0f} GB/s",
          f"{catalog.TX1_DRAM.capacity_bytes/2**30:.0f} GB bus @ 25.6 GB/s theoretical"),
         ("Peak DP", f"{to_gflops(gtx.peak_dp_flops):.0f} GFLOPS",
          f"{to_gflops(tx1.peak_dp_flops):.1f} GFLOPS"),

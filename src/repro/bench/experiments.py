@@ -31,7 +31,7 @@ from repro.replay import (
     replay,
 )
 from repro.scalability import ScalingFit, fit_usl
-from repro.units import to_gflops
+from repro.units import to_gbit_s, to_gbyte_s, to_gflops, to_ms
 from repro.workloads import GPGPU_NAMES, NPB_NAMES
 
 #: The scientific GPGPU benchmarks that communicate to solve one problem
@@ -128,8 +128,8 @@ def traffic_characterization(nodes: int = 16) -> list[TrafficPoint]:
                 TrafficPoint(
                     workload=name,
                     network=network,
-                    dram_rate=run.result.gpu_dram_bytes / run.runtime / nodes / 1e9,
-                    network_rate=run.result.network_bytes / run.runtime / nodes / 1e9,
+                    dram_rate=to_gbyte_s(run.result.gpu_dram_bytes / run.runtime / nodes),
+                    network_rate=to_gbyte_s(run.result.network_bytes / run.runtime / nodes),
                 )
             )
     return points
@@ -566,5 +566,5 @@ def network_microbench() -> dict[str, dict[str, float]]:
         for i in range(2):
             fabric2.attach(Node(env2, catalog.jetson_tx1(), node_id=i, nic=nic))
         rtt = ping_pong(env2, fabric2, 0, 1)
-        out[label] = {"iperf_gbit": rate * 8 / 1e9, "pingpong_ms": rtt * 1e3}
+        out[label] = {"iperf_gbit": to_gbit_s(rate), "pingpong_ms": to_ms(rtt)}
     return out

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.cluster import Cluster, Job
+from repro.errors import ConfigurationError
 from repro.cluster.cluster import (
     ClusterSpec,
     gtx980_cluster_spec,
@@ -95,4 +96,4 @@ def _cluster_spec(system: str, nodes: int, network: str) -> ClusterSpec:
         return gtx980_cluster_spec(nodes)
     if system == "thunderx":
         return thunderx_cluster_spec()
-    raise ValueError(f"unknown system {system!r}")
+    raise ConfigurationError(f"unknown system {system!r}")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.bench import experiments as ex
+from repro.errors import AnalysisError
 
 
 def format_network_comparison(cells: list["ex.NetworkComparison"]) -> str:
@@ -53,9 +54,9 @@ def render_scatter_ascii(
     import math
 
     if not points:
-        raise ValueError("no points to plot")
+        raise AnalysisError("no points to plot")
     if any(x <= 0 or y <= 0 for _, x, y in points):
-        raise ValueError("log-log scatter needs positive coordinates")
+        raise AnalysisError("log-log scatter needs positive coordinates")
     xs = [math.log10(x) for _, x, _ in points]
     ys = [math.log10(y) for _, _, y in points]
     x_lo, x_hi = min(xs), max(xs)

@@ -12,6 +12,9 @@ Commands
     Regenerate one of the paper's tables/figures by id (fig1, table2, ...).
 ``report``
     Run a set of experiments and write results.json + REPORT.md artifacts.
+``lint``
+    Run the repro static-analysis rule pack (see ``docs/LINT.md``); exits
+    nonzero when findings exist.
 """
 
 from __future__ import annotations
@@ -77,6 +80,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     print(runner())
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -225,6 +234,14 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--outdir", default="artifacts")
     rep_p.add_argument("--experiments", nargs="*", default=None,
                        help="experiment ids (default: the quick subset)")
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static analysis: determinism, units, MPI/sim-kernel hygiene",
+    )
+    add_lint_arguments(lint_p)
     return parser
 
 
@@ -236,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 from repro.hardware.cpu import CoreExecution, WorkloadCPUProfile
 from repro.hardware.node import Node
 from repro.mpi import Communicator, CommWorld
+from repro.units import mflops_per_watt as units_mflops_per_watt
 
 
 @dataclass
@@ -151,7 +152,7 @@ class JobResult:
         """The paper's energy-efficiency metric."""
         if self.average_power_watts <= 0:
             return 0.0
-        return (self.throughput_flops / 1e6) / self.average_power_watts
+        return units_mflops_per_watt(self.throughput_flops, self.average_power_watts)
 
 
 class Job:
@@ -168,6 +169,7 @@ class Job:
         tracer: Any = None,
         pin_affinity: bool = True,
         seed: int = 0,
+        rng: np.random.Generator | None = None,
     ) -> None:
         if ranks_per_node < 1:
             raise ConfigurationError("ranks_per_node must be >= 1")
@@ -175,7 +177,10 @@ class Job:
         self.ranks_per_node = ranks_per_node
         self.tracer = tracer
         self.pin_affinity = pin_affinity
-        self._rng = np.random.default_rng(seed)
+        # OS-noise stream: an injected generator wins (lets a driver share
+        # one seeded stream across jobs); otherwise seeded privately so two
+        # jobs with the same seed draw identical jitter.
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._migration_penalty: dict[int, float] = {}
         self.size = cluster.node_count * ranks_per_node
         self._rank_to_node = [r // ranks_per_node for r in range(self.size)]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster import cluster as _cluster_mod
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -73,7 +74,7 @@ class Metering:
         at *hz* — the paper's meter sampled at 10 Hz.
         """
         if elapsed_seconds <= 0:
-            raise ValueError("elapsed time must be positive")
+            raise ConfigurationError("elapsed time must be positive")
         report = self.report(elapsed_seconds)
         nic_watts = report.nic_joules / elapsed_seconds
         n = max(1, int(elapsed_seconds * hz))

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 from repro.core.extended import ExtendedRoofline, RooflinePoint
-from repro.units import to_gflops
+from repro.units import to_gbit_s, to_gbyte_s, to_gflops
 
 
 def render_roofline_ascii(
@@ -57,8 +57,8 @@ def render_roofline_ascii(
 
     header = (
         f"{model.name}: peak {to_gflops(model.peak_flops):.1f} GFLOPS | "
-        f"mem {model.memory_bandwidth / 1e9:.1f} GB/s | "
-        f"net {model.network_bandwidth * 8 / 1e9:.2f} Gb/s"
+        f"mem {to_gbyte_s(model.memory_bandwidth):.1f} GB/s | "
+        f"net {to_gbit_s(model.network_bandwidth):.2f} Gb/s"
     )
     body = "\n".join("".join(row) for row in grid)
     axis = f"{'':<2}OI: {10**lo:g} .. {10**hi:g} FLOP/B (log)"

@@ -11,8 +11,12 @@ class SimulationError(ReproError):
     """Raised for misuse of the discrete-event simulation kernel."""
 
 
-class ConfigurationError(ReproError):
-    """Raised when a hardware/cluster/workload configuration is invalid."""
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a hardware/cluster/workload configuration is invalid.
+
+    Also a :class:`ValueError` so pre-taxonomy callers (and tests) that
+    catch ``ValueError`` keep working.
+    """
 
 
 class CudaError(ReproError):
@@ -27,5 +31,9 @@ class TraceError(ReproError):
     """Raised when a trace is malformed or an analysis precondition fails."""
 
 
-class AnalysisError(ReproError):
-    """Raised by statistical analysis routines (PLS, fitting)."""
+class AnalysisError(ReproError, ValueError):
+    """Raised by statistical analysis routines (PLS, fitting).
+
+    Also a :class:`ValueError` for the same compatibility reason as
+    :class:`ConfigurationError`.
+    """

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.hardware.cache import CacheHierarchy
+from repro.units import mib
 
 
 @dataclass(frozen=True)
@@ -47,7 +48,7 @@ class WorkloadCPUProfile:
     branch_fraction: float = 0.15
     branch_entropy: float = 0.3
     memory_fraction: float = 0.30
-    working_set_per_rank_bytes: float = 8 * 2**20
+    working_set_per_rank_bytes: float = mib(8)
     flops_per_instruction: float = 0.25
 
     def __post_init__(self) -> None:

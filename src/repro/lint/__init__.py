@@ -1,0 +1,53 @@
+"""``repro.lint``: AST-based static analysis for the simulator.
+
+The paper's figures depend on reproducible measurement; this package
+machine-checks the invariants that keep them reproducible — determinism
+(RL001), sim-kernel correctness (RL002), MPI call-shape hygiene (RL003),
+unit safety (RL004), the error taxonomy (RL005), and float-comparison
+discipline (RL006).  See ``docs/LINT.md`` for the rule catalogue.
+
+Programmatic use::
+
+    from repro.lint import lint_paths, load_config
+    findings = lint_paths(["src/repro"], config=load_config("pyproject.toml"))
+
+Command line::
+
+    python -m repro lint [paths ...] [--format json]
+"""
+
+from repro.lint.config import LintConfig, find_pyproject, load_config
+from repro.lint.engine import (
+    ALL_RULES,
+    RULES,
+    FileContext,
+    Rule,
+    lint_paths,
+    lint_source,
+    register,
+    suppressions,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.reporters import parse_json, render_json, render_text
+
+# Importing the rule pack populates the registry.
+from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "Severity",
+    "find_pyproject",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "parse_json",
+    "register",
+    "render_json",
+    "render_text",
+    "suppressions",
+]

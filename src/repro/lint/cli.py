@@ -1,0 +1,110 @@
+"""The ``python -m repro lint`` entry point.
+
+Exit codes: 0 when the tree is clean, 1 when findings exist, 2 on usage
+errors (bad paths, bad config).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.lint.config import LintConfig, find_pyproject, load_config
+from repro.lint.engine import RULES, lint_paths
+from repro.lint.reporters import render_json, render_text
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to *parser* (shared with the repro CLI)."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: paths from [tool.repro.lint])",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", nargs="*", metavar="RLxxx", default=None,
+        help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--ignore", nargs="*", metavar="RLxxx", default=None,
+        help="skip these rule ids",
+    )
+    parser.add_argument(
+        "--config", default=None,
+        help="pyproject.toml to read [tool.repro.lint] from "
+             "(default: nearest one above the cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.config is not None:
+        config = load_config(args.config)
+    else:
+        pyproject = find_pyproject(Path.cwd())
+        config = load_config(pyproject) if pyproject is not None else LintConfig()
+    overrides = {}
+    if args.select is not None:
+        overrides["select"] = tuple(args.select)
+    if args.ignore is not None:
+        overrides["ignore"] = tuple(args.ignore)
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    return config
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id} {rule.name:16s} {rule.summary}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        config = _resolve_config(args)
+        unknown = [
+            r for r in (*config.select, *config.ignore) if r not in RULES
+        ]
+        if unknown:
+            raise ConfigurationError(f"unknown rule ids: {', '.join(unknown)}")
+        targets = [Path(p) for p in args.paths] if args.paths else config.resolved_paths()
+        if not targets:
+            raise ConfigurationError("nothing to lint: no paths given or configured")
+        findings = lint_paths(targets, config=config)
+    except ConfigurationError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    report = render_json(findings) if args.format == "json" else render_text(findings)
+    print(report)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static analysis for the repro simulator "
+                    "(determinism, units, MPI/sim-kernel hygiene).",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""The lint engine: rule registry, suppressions, and the file walker.
+
+A rule is a subclass of :class:`Rule` registered with :func:`register`.  The
+engine parses each Python file once, hands the shared :class:`FileContext`
+to every enabled rule, collects :class:`Finding`\\ s, and drops those
+suppressed by an inline ``# repro: noqa[RLxxx]`` comment on the same line
+(bare ``# repro: noqa`` suppresses every rule on that line).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+
+#: ``# repro: noqa`` or ``# repro: noqa[RL001]`` or ``...[RL001, RL004]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>\s*RL\d+(?:\s*,\s*RL\d+)*\s*)\])?"
+)
+
+#: Sentinel meaning "every rule suppressed on this line".
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule needs about one source file, parsed once."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    def in_scope(self, fragments: Iterable[str]) -> bool:
+        """True when the file path contains any of *fragments* (posix-style)."""
+        posix = self.path.replace("\\", "/")
+        return any(fragment in posix for fragment in fragments)
+
+
+class Rule(abc.ABC):
+    """One statically-checkable invariant.
+
+    Class attributes document the rule for ``--list-rules`` and LINT.md;
+    :meth:`check` yields findings against a parsed file.
+    """
+
+    #: Stable id, e.g. ``"RL001"``.
+    rule_id: str = ""
+    #: Short name, e.g. ``"determinism"``.
+    name: str = ""
+    #: One-line description of what the rule protects.
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterator[Finding]:
+        """Yield every violation of this rule in *ctx*."""
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at *node*."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+#: The global registry: rule id -> rule instance.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    rule = cls()
+    if not re.fullmatch(r"RL\d{3}", rule.rule_id):
+        raise ConfigurationError(f"bad rule id {rule.rule_id!r} on {cls.__name__}")
+    if rule.rule_id in RULES:
+        raise ConfigurationError(f"duplicate rule id {rule.rule_id}")
+    RULES[rule.rule_id] = rule
+    return cls
+
+
+def suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed there (:data:`ALL_RULES` = all)."""
+    table: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = {ALL_RULES}
+        else:
+            table.setdefault(lineno, set()).update(
+                r.strip() for r in rules.split(",")
+            )
+    return table
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], table: dict[int, set[str]]
+) -> list[Finding]:
+    kept = []
+    for finding in findings:
+        suppressed = table.get(finding.line, ())
+        if ALL_RULES in suppressed or finding.rule in suppressed:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one source string; *path* drives the path-scoped rules."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule="RL000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree)
+    findings: list[Finding] = []
+    for rule_id in sorted(RULES):
+        if config.enabled(rule_id):
+            findings.extend(RULES[rule_id].check(ctx, config))
+    findings = _apply_suppressions(findings, suppressions(source))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into the .py files beneath them, sorted."""
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.is_file():
+            yield path
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint every Python file under *paths*; findings in stable order."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=file.as_posix(), config=config))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,70 @@
+"""The :class:`Finding` record emitted by lint rules.
+
+A finding pins one rule violation to a file/line/column and carries enough
+context to render a human line (`path:line:col: RLxxx message`) or a JSON
+object that round-trips losslessly (``to_dict`` / ``from_dict``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings corrupt results silently (nondeterminism, deadlock
+    shapes, kernel misuse); ``WARNING`` findings are maintainability hazards
+    that tend to become errors (magic units, ad-hoc exceptions).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (severity as its string value)."""
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                path=data["path"],
+                line=int(data["line"]),
+                col=int(data["col"]),
+                rule=data["rule"],
+                message=data["message"],
+                severity=Severity(data["severity"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ConfigurationError(f"malformed finding record: {exc}") from exc
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: by path, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)

@@ -1,0 +1,33 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.findings import Finding
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One `path:line:col: RLxxx message` line per finding plus a summary."""
+    findings = list(findings)
+    lines = [f.render() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """A JSON document: ``{"count": N, "findings": [...]}``."""
+    findings = list(findings)
+    return json.dumps(
+        {"count": len(findings), "findings": [f.to_dict() for f in findings]},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def parse_json(document: str) -> list[Finding]:
+    """Inverse of :func:`render_json` (used by tooling and tests)."""
+    data = json.loads(document)
+    return [Finding.from_dict(item) for item in data["findings"]]

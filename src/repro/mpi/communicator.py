@@ -10,6 +10,7 @@ import numpy as np
 from repro.errors import MPIError
 from repro.network.fabric import Fabric
 from repro.sim import Environment, Store
+from repro.units import kib
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -203,7 +204,7 @@ class Communicator:
     #: Messages larger than this use the scatter+allgather (van de Geijn)
     #: broadcast, whose wall time is ~2 x bytes/bw independent of P, like a
     #: real MPI's large-message algorithm switch.
-    BCAST_LARGE_THRESHOLD = 256 * 1024.0
+    BCAST_LARGE_THRESHOLD = kib(256)
 
     def bcast(self, data: Any, root: int = 0, tag: int = 1_100_000, nbytes: float | None = None):
         """Broadcast from *root*; every rank returns the data.

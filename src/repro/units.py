@@ -9,11 +9,18 @@ of raw exponents.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 # -- data sizes -------------------------------------------------------------
 
 KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
+
+#: Bytes per IEEE-754 double — the working currency of every solver here.
+DOUBLE_BYTES = 8
+#: Bits per byte, for NIC-style bandwidth quotes.
+BITS_PER_BYTE = 8
 
 # Decimal variants, used for bandwidth-style quantities where vendors and the
 # paper use powers of ten.
@@ -35,6 +42,21 @@ def mib(n: float) -> float:
 def gib(n: float) -> float:
     """*n* gibibytes in bytes."""
     return n * GB
+
+
+def doubles(n: float) -> float:
+    """The bytes occupied by *n* double-precision values."""
+    return n * DOUBLE_BYTES
+
+
+def bits(n: float) -> float:
+    """*n* bits expressed in bytes."""
+    return n / BITS_PER_BYTE
+
+
+def to_bits(nbytes: float) -> float:
+    """Convert bytes to bits."""
+    return nbytes * BITS_PER_BYTE
 
 
 # -- bandwidth ---------------------------------------------------------------
@@ -76,7 +98,7 @@ def to_gflops(flops_per_s: float) -> float:
 def mflops_per_watt(flops_per_s: float, watts: float) -> float:
     """The paper's energy-efficiency metric: MFLOPS per watt."""
     if watts <= 0.0:
-        raise ValueError(f"power must be positive, got {watts}")
+        raise ConfigurationError(f"power must be positive, got {watts}")
     return (flops_per_s / MEGA) / watts
 
 
@@ -109,3 +131,8 @@ def ghz(n: float) -> float:
 def mhz(n: float) -> float:
     """*n* MHz in Hz."""
     return n * MEGA
+
+
+def to_ghz(hz: float) -> float:
+    """Convert Hz to GHz."""
+    return hz / GIGA

@@ -159,9 +159,14 @@ def network_spec(name: str) -> NetworkSpec:
 # ---------------------------------------------------------------------------
 
 
-def build_toy_network(seed: int = 0) -> dict:
-    """A small conv->pool->fc->softmax net with real weights."""
-    rng = np.random.default_rng(seed)
+def build_toy_network(seed: int = 0, rng: np.random.Generator | None = None) -> dict:
+    """A small conv->pool->fc->softmax net with real weights.
+
+    Weights come from *rng* when given (thread one seeded generator through
+    a whole experiment), else from a private ``default_rng(seed)`` stream.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
     return {
         "conv_w": rng.normal(0, 0.1, size=(4, 1, 3, 3)),
         "conv_b": np.zeros(4),

@@ -10,7 +10,7 @@ paper finds little benefit from 10 GbE and poor strong scaling.
 from __future__ import annotations
 
 from repro.hardware.cpu import WorkloadCPUProfile
-from repro.units import mib
+from repro.units import doubles, mib
 from repro.workloads.base import GpuIterativeWorkload, block_partition
 
 _PROFILE = WorkloadCPUProfile(
@@ -52,7 +52,7 @@ class CloverLeafWorkload(GpuIterativeWorkload):
     def local_bytes(self, size: int, rank: int) -> float:
         # ~15 field arrays of doubles (density, energy, pressure, velocities,
         # fluxes, work arrays).
-        return 15.0 * 8.0 * self._points(size, rank)
+        return 15.0 * doubles(self._points(size, rank))
 
     def kernel_flops(self, size: int, rank: int) -> float:
         # Advection + PdV + acceleration + flux kernels per step.
@@ -62,7 +62,7 @@ class CloverLeafWorkload(GpuIterativeWorkload):
         return 180.0 * self._points(size, rank)
 
     def halo_bytes(self, size: int, rank: int) -> float:
-        return self.halo_fields * 8.0 * self.n * 2.0  # two-deep halos
+        return self.halo_fields * doubles(self.n) * 2.0  # two-deep halos
 
     def reductions_per_iteration(self) -> int:
         return 1  # dt control

@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.cuda.runtime import KernelSpec
 from repro.errors import ConfigurationError
 from repro.hardware.cpu import WorkloadCPUProfile
-from repro.units import mib
+from repro.units import doubles, mib
 from repro.workloads.base import Workload
 
 #: Effective DGEMM arithmetic intensity measured at DRAM on the TX1's
@@ -137,14 +137,14 @@ class HplWorkload(Workload):
                 yield pending_fact
                 pending_fact = None
             # Panel broadcast: this rank-row share of (m + nb) x nb of L.
-            panel_bytes = 8.0 * self.nb * float(m + self.nb) / grid
+            panel_bytes = doubles(self.nb * float(m + self.nb)) / grid
             yield from ctx.comm.bcast(None, root=owner, tag=1000 + 100 * k,
                                       nbytes=panel_bytes)
             if m <= 0:
                 continue
             # Pivot-row swap with a ring partner, then the U broadcast that
             # spreads the solved U block along the process row.
-            swap_bytes = 8.0 * self.nb * (float(m) / size)
+            swap_bytes = doubles(self.nb * (float(m) / size))
             if size > 1:
                 yield from ctx.comm.sendrecv(
                     None, dest=(rank + 1) % size, source=(rank - 1) % size,
@@ -152,7 +152,7 @@ class HplWorkload(Workload):
                 )
                 yield from ctx.comm.bcast(
                     None, root=owner, tag=1000 + 100 * k + 50,
-                    nbytes=8.0 * self.nb * float(m) / grid,
+                    nbytes=doubles(self.nb * float(m)) / grid,
                 )
             # Look-ahead: the next panel's owner factorizes while everyone
             # (including it) runs the trailing DGEMM.

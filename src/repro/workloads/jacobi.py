@@ -9,7 +9,7 @@ allreduce.  The validation-scale algorithm lives in
 from __future__ import annotations
 
 from repro.hardware.cpu import WorkloadCPUProfile
-from repro.units import mib
+from repro.units import doubles, mib
 from repro.workloads.base import GpuIterativeWorkload, block_partition
 
 #: Paper input: a matrix sized to fill a TX1 node's memory; we default to
@@ -48,7 +48,7 @@ class JacobiWorkload(GpuIterativeWorkload):
 
     def local_bytes(self, size: int, rank: int) -> float:
         # Two grids (u, u_next), doubles.
-        return 2.0 * 8.0 * self._points(size, rank)
+        return 2.0 * doubles(self._points(size, rank))
 
     def kernel_flops(self, size: int, rank: int) -> float:
         # 4 adds + 1 mul + 1 fused source term per point.
@@ -59,7 +59,7 @@ class JacobiWorkload(GpuIterativeWorkload):
         return 16.0 * self._points(size, rank)
 
     def halo_bytes(self, size: int, rank: int) -> float:
-        return 8.0 * self.n  # one row of doubles per neighbour
+        return doubles(self.n)  # one row of doubles per neighbour
 
     def reductions_per_iteration(self) -> int:
         return 1  # the convergence-norm allreduce

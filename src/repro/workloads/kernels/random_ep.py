@@ -13,16 +13,22 @@ from repro.errors import ConfigurationError
 
 
 def ep_gaussian_pairs(
-    n_pairs: int, seed: int = 271828183
+    n_pairs: int,
+    seed: int = 271828183,
+    rng: np.random.Generator | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Generate *n_pairs* candidate pairs; return (x, y, accepted).
 
     ``x``/``y`` are the accepted Gaussian deviates; ``accepted`` their count.
-    Vectorized (no Python-level loop over pairs) per the HPC guide.
+    Vectorized (no Python-level loop over pairs) per the HPC guide.  Pass an
+    explicit *rng* to share one seeded stream across kernels (e.g. one
+    ``np.random.default_rng(seed)`` per rank); otherwise *seed* creates a
+    private stream, so repeated calls are bit-identical.
     """
     if n_pairs < 1:
         raise ConfigurationError("need at least one pair")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     u = rng.uniform(-1.0, 1.0, size=(n_pairs, 2))
     t = u[:, 0] ** 2 + u[:, 1] ** 2
     mask = (t > 0.0) & (t <= 1.0)

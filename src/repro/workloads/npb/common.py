@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.hardware.cpu import WorkloadCPUProfile
+from repro.units import GIGA
 from repro.workloads.base import Workload
 
 _COMM_PATTERNS = ("halo", "wavefront", "alltoall", "sparse", "none")
@@ -51,7 +52,7 @@ class NPBSpec:
 
     def instructions_per_rank_per_iteration(self, size: int) -> float:
         """The compute charge, before the per-rank imbalance skew."""
-        total_ops = self.total_gops * 1e9
+        total_ops = self.total_gops * GIGA
         fpi = max(self.profile.flops_per_instruction, 1e-3)
         return total_ops / fpi / size / self.iterations
 

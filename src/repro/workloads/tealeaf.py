@@ -11,7 +11,7 @@ codes (Fig. 3, Table II) while tealeaf2d sees little gain from 10 GbE.
 from __future__ import annotations
 
 from repro.hardware.cpu import WorkloadCPUProfile
-from repro.units import mib
+from repro.units import doubles, mib
 from repro.workloads.base import GpuIterativeWorkload, block_partition
 
 _PROFILE_2D = WorkloadCPUProfile(
@@ -60,7 +60,7 @@ class TeaLeaf2DWorkload(GpuIterativeWorkload):
 
     def local_bytes(self, size: int, rank: int) -> float:
         # u, r, p, w, Kx, Ky vectors of doubles.
-        return 6.0 * 8.0 * self._points(size, rank)
+        return 6.0 * doubles(self._points(size, rank))
 
     def kernel_flops(self, size: int, rank: int) -> float:
         # 5-point matvec + axpys: ~14 FLOP per point per CG iteration.
@@ -70,7 +70,7 @@ class TeaLeaf2DWorkload(GpuIterativeWorkload):
         return 48.0 * self._points(size, rank)
 
     def halo_bytes(self, size: int, rank: int) -> float:
-        return 8.0 * self.n  # one row of p per neighbour
+        return doubles(self.n)  # one row of p per neighbour
 
     def reductions_per_iteration(self) -> int:
         return 2  # rho and p.Ap dot products
@@ -101,7 +101,7 @@ class TeaLeaf3DWorkload(GpuIterativeWorkload):
         return float(block_partition(self.n, size, rank)) * self.n * self.n
 
     def local_bytes(self, size: int, rank: int) -> float:
-        return 6.0 * 8.0 * self._points(size, rank)
+        return 6.0 * doubles(self._points(size, rank))
 
     def kernel_flops(self, size: int, rank: int) -> float:
         # 7-point matvec + axpys.
@@ -112,7 +112,7 @@ class TeaLeaf3DWorkload(GpuIterativeWorkload):
 
     def halo_bytes(self, size: int, rank: int) -> float:
         # A whole n x n face of doubles per neighbour: the 3-D cost.
-        return 8.0 * self.n * self.n
+        return doubles(self.n * self.n)
 
     def reductions_per_iteration(self) -> int:
         return 2

@@ -1,0 +1,457 @@
+"""Tests for the repro.lint static-analysis subsystem.
+
+Per rule: at least one positive (triggering) and one negative (clean)
+snippet, a suppression check, plus reporter round-trips, CLI exit codes,
+and the self-check that keeps ``src/repro`` lint-clean forever.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    RULES,
+    Finding,
+    LintConfig,
+    Severity,
+    lint_paths,
+    lint_source,
+    load_config,
+    parse_json,
+    render_json,
+    render_text,
+    suppressions,
+)
+from repro.lint.config import _parse_lint_section
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Per rule: (path the snippet is linted under, triggering source).
+POSITIVE = {
+    "RL001": (
+        "src/repro/sim/clock.py",
+        "import time\n\n\ndef stamp():\n    return time.time()\n",
+    ),
+    "RL002": (
+        "src/repro/workloads/toy.py",
+        "def proc(env):\n"
+        "    env.timeout(1.0)\n"
+        "    yield env.timeout(2.0)\n",
+    ),
+    "RL003": (
+        "src/repro/workloads/toy.py",
+        "def program(ctx):\n"
+        "    yield from ctx.comm.send(None, dest=1)\n",
+    ),
+    "RL004": (
+        "src/repro/network/toy.py",
+        "def rate(nbytes, seconds):\n"
+        "    return nbytes / seconds / 1e9\n",
+    ),
+    "RL005": (
+        "src/repro/network/toy.py",
+        "def check(x):\n"
+        "    if x < 0:\n"
+        "        raise ValueError('negative')\n",
+    ),
+    "RL006": (
+        "src/repro/sim/toy.py",
+        "def converged(residual):\n"
+        "    return residual == 0.0\n",
+    ),
+}
+
+NEGATIVE = {
+    "RL001": (
+        "src/repro/sim/clock.py",
+        "import numpy as np\n\n\ndef draw(seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return rng.normal()\n",
+    ),
+    "RL002": (
+        "src/repro/workloads/toy.py",
+        "def proc(env):\n"
+        "    done = env.timeout(1.0)\n"
+        "    yield done\n"
+        "    yield env.timeout(2.0)\n",
+    ),
+    "RL003": (
+        "src/repro/workloads/toy.py",
+        "def program(ctx):\n"
+        "    yield from ctx.comm.send(None, dest=(ctx.rank + 1) % ctx.size)\n"
+        "    data = yield from ctx.comm.recv(source=(ctx.rank - 1) % ctx.size)\n"
+        "    total = yield from ctx.comm.allreduce(data)\n"
+        "    return total\n",
+    ),
+    "RL004": (
+        "src/repro/network/toy.py",
+        "from repro.units import to_gbyte_s\n\n\ndef rate(nbytes, seconds):\n"
+        "    return to_gbyte_s(nbytes / seconds)\n",
+    ),
+    "RL005": (
+        "src/repro/network/toy.py",
+        "from repro.errors import ConfigurationError\n\n\ndef check(x):\n"
+        "    if x < 0:\n"
+        "        raise ConfigurationError('negative')\n",
+    ),
+    "RL006": (
+        "src/repro/sim/toy.py",
+        "import math\n\n\ndef converged(residual):\n"
+        "    return math.isclose(residual, 0.0, abs_tol=1e-12)\n",
+    ),
+}
+
+
+def findings_for(rule_id: str, table: dict) -> list[Finding]:
+    path, source = table[rule_id]
+    return [f for f in lint_source(source, path=path) if f.rule == rule_id]
+
+
+# ---------------------------------------------------------------------------
+# Per-rule positives and negatives
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", sorted(POSITIVE))
+def test_rule_flags_violation(rule_id):
+    found = findings_for(rule_id, POSITIVE)
+    assert found, f"{rule_id} missed its positive snippet"
+    assert all(f.line >= 1 and f.rule == rule_id for f in found)
+
+
+@pytest.mark.parametrize("rule_id", sorted(NEGATIVE))
+def test_rule_passes_clean_code(rule_id):
+    assert findings_for(rule_id, NEGATIVE) == []
+
+
+def test_registry_covers_all_six_rules():
+    assert sorted(RULES) == sorted(POSITIVE) == sorted(NEGATIVE)
+
+
+# -- rule-specific edges ------------------------------------------------------
+
+
+def test_determinism_catches_global_numpy_and_stdlib_rng():
+    src = (
+        "import random\nimport numpy as np\n\n\ndef f():\n"
+        "    a = random.random()\n"
+        "    b = np.random.rand(3)\n"
+        "    rng = np.random.default_rng()\n"
+        "    return a, b, rng\n"
+    )
+    rules = [f.message for f in lint_source(src, path="src/repro/x.py")]
+    assert len(rules) == 3
+    assert any("random.random" in m for m in rules)
+    assert any("np.random.rand" in m for m in rules)
+    assert any("default_rng() without a seed" in m for m in rules)
+
+
+def test_determinism_flags_bare_set_iteration():
+    src = "def order(jobs):\n    for j in set(jobs):\n        yield j\n"
+    found = lint_source(src, path="src/repro/x.py")
+    assert [f.rule for f in found] == ["RL001"]
+    assert "hash-dependent" in found[0].message
+
+
+def test_sim_kernel_flags_constant_yield_and_bare_yield():
+    src = (
+        "def proc(env):\n"
+        "    yield env.timeout(1.0)\n"
+        "    yield 5\n"
+        "    yield\n"
+    )
+    found = lint_source(src, path="src/repro/x.py")
+    assert [f.rule for f in found] == ["RL002", "RL002"]
+    assert found[0].line == 3 and found[1].line == 4
+
+
+def test_mpi_flags_collective_in_rank_branch():
+    src = (
+        "def program(ctx):\n"
+        "    if ctx.rank == 0:\n"
+        "        yield from ctx.comm.bcast(None)\n"
+    )
+    found = lint_source(src, path="src/repro/x.py")
+    assert [f.rule for f in found] == ["RL003"]
+    assert "bcast" in found[0].message
+
+
+def test_mpi_allows_root_asymmetry_with_rank_branch():
+    # Root sends, leaves receive: pairing is rank-conditional, so the
+    # unpaired-p2p heuristic must stay quiet.
+    src = (
+        "def program(ctx):\n"
+        "    if ctx.rank == 0:\n"
+        "        yield from ctx.comm.send(None, dest=1)\n"
+        "    else:\n"
+        "        yield from ctx.comm.recv(source=0)\n"
+    )
+    assert lint_source(src, path="src/repro/x.py") == []
+
+
+def test_unit_safety_exempts_units_module():
+    src = "def gbyte_s(n):\n    return n * 1e9\n"
+    assert lint_source(src, path="src/repro/units.py") == []
+    assert lint_source(src, path="src/repro/network/fabric.py") != []
+
+
+def test_float_equality_scoped_to_numeric_paths():
+    src = "def f(x):\n    return x == 1.0\n"
+    assert [f.rule for f in lint_source(src, path="src/repro/core/m.py")] == ["RL006"]
+    # Out of the configured numeric paths: no finding.
+    assert lint_source(src, path="src/repro/workloads/m.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions (property-style: every rule honours its noqa)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", sorted(POSITIVE))
+def test_inline_noqa_suppresses_each_rule(rule_id):
+    path, source = POSITIVE[rule_id]
+    found = [f for f in lint_source(source, path=path) if f.rule == rule_id]
+    assert found
+    lines = source.splitlines()
+    for finding in found:
+        lines[finding.line - 1] += f"  # repro: noqa[{rule_id}] test justification"
+    cleaned = lint_source("\n".join(lines) + "\n", path=path)
+    assert [f for f in cleaned if f.rule == rule_id] == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(POSITIVE))
+def test_blanket_noqa_suppresses_each_rule(rule_id):
+    path, source = POSITIVE[rule_id]
+    lines = source.splitlines()
+    for finding in lint_source(source, path=path):
+        lines[finding.line - 1] += "  # repro: noqa"
+    assert lint_source("\n".join(lines) + "\n", path=path) == []
+
+
+def test_noqa_for_other_rule_does_not_suppress():
+    path, source = POSITIVE["RL005"]
+    lines = source.splitlines()
+    lines[2] += "  # repro: noqa[RL001]"
+    found = lint_source("\n".join(lines) + "\n", path=path)
+    assert [f.rule for f in found] == ["RL005"]
+
+
+def test_suppression_table_parses_lists():
+    table = suppressions(
+        "x = 1  # repro: noqa[RL001, RL004]\ny = 2  # repro: noqa\n"
+    )
+    assert table[1] == {"RL001", "RL004"}
+    assert table[2] == {"*"}
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+
+def test_finding_json_round_trip():
+    finding = Finding(
+        path="src/repro/sim/core.py", line=12, col=4, rule="RL006",
+        message="exact float compare", severity=Severity.ERROR,
+    )
+    assert Finding.from_dict(finding.to_dict()) == finding
+
+
+def test_render_json_round_trips_findings():
+    findings = lint_source(POSITIVE["RL004"][1], path=POSITIVE["RL004"][0])
+    assert findings
+    assert parse_json(render_json(findings)) == findings
+
+
+def test_from_dict_rejects_malformed_records():
+    with pytest.raises(ConfigurationError, match="malformed finding"):
+        Finding.from_dict({"path": "x", "line": 1})
+
+
+def test_render_text_has_file_line_and_summary():
+    findings = lint_source(POSITIVE["RL005"][1], path=POSITIVE["RL005"][0])
+    text = render_text(findings)
+    assert "src/repro/network/toy.py:3:" in text
+    assert text.endswith("1 finding")
+    assert render_text([]).endswith("0 findings")
+
+
+# ---------------------------------------------------------------------------
+# Config
+# ---------------------------------------------------------------------------
+
+
+def test_load_config_reads_lint_table(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[project]\nname = \"x\"\n\n"
+        "[tool.repro.lint]\n"
+        "select = [\"RL001\", \"RL005\"]\n"
+        "ignore = [\"RL005\"]\n"
+        "paths = [\"src\"]\n",
+        encoding="utf-8",
+    )
+    config = load_config(pyproject)
+    assert config.enabled("RL001")
+    assert not config.enabled("RL005")  # ignored beats selected
+    assert not config.enabled("RL002")  # not selected
+    assert config.resolved_paths() == [tmp_path / "src"]
+
+
+def test_load_config_rejects_unknown_keys(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.repro.lint]\nbogus = \"x\"\n", encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="unknown"):
+        load_config(pyproject)
+
+
+def test_mini_toml_fallback_parser_matches_expectations():
+    # The 3.10 fallback path, exercised on every version.
+    section = _parse_lint_section(
+        "[tool.other]\nselect = [\"nope\"]\n"
+        "[tool.repro.lint]\n"
+        "select = [\"RL001\", \"RL002\"]  # trailing comment\n"
+        "unit-exempt = [\"units.py\"]\n"
+        "[tool.after]\nx = \"y\"\n"
+    )
+    assert section == {
+        "select": ["RL001", "RL002"],
+        "unit-exempt": ["units.py"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes and the dirty-fixture acceptance path
+# ---------------------------------------------------------------------------
+
+
+def _write_fixture_tree(root: Path) -> None:
+    """A tree violating all six rules, plus a hermetic config."""
+    (root / "pyproject.toml").write_text("[tool.repro.lint]\n", encoding="utf-8")
+    sim = root / "sim"
+    sim.mkdir()
+    (sim / "bad_sim.py").write_text(
+        "import time\n\n\n"
+        "def proc(env):\n"
+        "    start = time.time()\n"                      # RL001
+        "    env.timeout(1.0)\n"                         # RL002
+        "    yield env.timeout(2.0)\n"
+        "    return start == 0.0\n",                     # RL006
+        encoding="utf-8",
+    )
+    workloads = root / "workloads"
+    workloads.mkdir()
+    (workloads / "bad_mpi.py").write_text(
+        "def program(ctx):\n"
+        "    nbytes = ctx.n * 1e9\n"                     # RL004
+        "    if nbytes < 0:\n"
+        "        raise ValueError('bad')\n"              # RL005
+        "    yield from ctx.comm.send(None, dest=1, nbytes=nbytes)\n",  # RL003
+        encoding="utf-8",
+    )
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    (tmp_path / "pyproject.toml").write_text("[tool.repro.lint]\n", encoding="utf-8")
+    (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+    code = main([str(tmp_path / "clean.py"),
+                 "--config", str(tmp_path / "pyproject.toml")])
+    assert code == 0
+    assert capsys.readouterr().out.strip().endswith("0 findings")
+
+
+def test_cli_exit_one_with_text_findings_on_dirty_tree(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    _write_fixture_tree(tmp_path)
+    code = main([str(tmp_path), "--config", str(tmp_path / "pyproject.toml")])
+    out = capsys.readouterr().out
+    assert code == 1
+    for rule_id in RULES:
+        assert rule_id in out, f"{rule_id} missing from the fixture report"
+    assert "bad_sim.py:5:" in out  # file:line anchors present
+
+
+def test_cli_json_format_on_dirty_tree(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    _write_fixture_tree(tmp_path)
+    code = main([str(tmp_path), "--format", "json",
+                 "--config", str(tmp_path / "pyproject.toml")])
+    assert code == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["count"] == len(data["findings"]) >= 6
+    assert {f["rule"] for f in data["findings"]} == set(RULES)
+    assert all(f["line"] >= 1 and f["path"] for f in data["findings"])
+
+
+def test_cli_select_and_ignore(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    _write_fixture_tree(tmp_path)
+    config = str(tmp_path / "pyproject.toml")
+    assert main([str(tmp_path), "--config", config, "--select", "RL005"]) == 1
+    out = capsys.readouterr().out
+    assert "RL005" in out and "RL001" not in out
+    assert main([str(tmp_path), "--config", config,
+                 "--ignore", *sorted(RULES)]) == 0
+
+
+def test_cli_exit_two_on_bad_path(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    assert main([str(tmp_path / "missing"),
+                 "--config", str(tmp_path / "nope.toml")]) == 2
+    assert "repro lint:" in capsys.readouterr().err
+
+
+def test_cli_exit_two_on_unknown_rule(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    (tmp_path / "pyproject.toml").write_text("[tool.repro.lint]\n", encoding="utf-8")
+    (tmp_path / "f.py").write_text("x = 1\n", encoding="utf-8")
+    assert main([str(tmp_path), "--config", str(tmp_path / "pyproject.toml"),
+                 "--select", "RL999"]) == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    from repro.lint.cli import main
+
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_repro_cli_wires_lint_subcommand(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    (tmp_path / "pyproject.toml").write_text("[tool.repro.lint]\n", encoding="utf-8")
+    (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+    code = repro_main(["lint", str(tmp_path / "clean.py"),
+                       "--config", str(tmp_path / "pyproject.toml")])
+    assert code == 0
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the shipped tree stays lint-clean
+# ---------------------------------------------------------------------------
+
+
+def test_shipped_tree_is_lint_clean():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    findings = lint_paths([REPO_ROOT / "src" / "repro"], config=config)
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_config_default_matches_shipped_pyproject():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    assert all(config.enabled(rule_id) for rule_id in RULES)
+    assert any("units.py" in frag for frag in config.unit_exempt)
