@@ -15,6 +15,10 @@ Commands
 ``lint``
     Run the repro static-analysis rule pack (see ``docs/LINT.md``); exits
     nonzero when findings exist.
+``faults``
+    Rerun a benchmark under a fault schedule (node crashes, degraded NICs,
+    stragglers, message loss) and report the resilience impact; see
+    ``docs/FAULTS.md``.
 """
 
 from __future__ import annotations
@@ -86,6 +90,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
     return run_lint(args)
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import experiments as fx
+    from repro.faults.model import FaultSchedule
+
+    if args.demo:
+        report = fx.run_demo(
+            args.workload, nodes=args.nodes, network=args.network, seed=args.seed
+        )
+    else:
+        if args.schedule is None:
+            print("faults: provide --demo or --schedule FILE", file=sys.stderr)
+            return 2
+        import json
+
+        with open(args.schedule, encoding="utf-8") as handle:
+            schedule = FaultSchedule.from_dict(json.load(handle))
+        report = fx.run_degraded(
+            args.workload, schedule, nodes=args.nodes, network=args.network,
+        )
+    print(fx.format_report(report))
+    return 0 if report.completed else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -235,6 +262,21 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--experiments", nargs="*", default=None,
                        help="experiment ids (default: the quick subset)")
 
+    faults_p = sub.add_parser(
+        "faults",
+        help="rerun a benchmark under an injected fault schedule",
+    )
+    faults_p.add_argument("workload", nargs="?", default="jacobi",
+                          choices=sorted(ALL_NAMES))
+    faults_p.add_argument("--demo", action="store_true",
+                          help="run the stock degraded-Jacobi demo schedule")
+    faults_p.add_argument("--schedule", default=None,
+                          help="JSON fault-schedule file (FaultSchedule.to_dict)")
+    faults_p.add_argument("--nodes", type=int, default=4)
+    faults_p.add_argument("--network", choices=("1G", "10G"), default="10G")
+    faults_p.add_argument("--seed", type=int, default=0,
+                          help="schedule seed for --demo")
+
     from repro.lint.cli import add_lint_arguments
 
     lint_p = sub.add_parser(
@@ -254,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "lint": _cmd_lint,
+        "faults": _cmd_faults,
     }
     return handlers[args.command](args)
 

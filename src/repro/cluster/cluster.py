@@ -106,6 +106,24 @@ class Cluster:
         return len(self.nodes)
 
     @property
+    def healthy_nodes(self) -> list[Node]:
+        """Nodes not failed by fault injection (the file server excluded)."""
+        return [node for node in self.nodes if node.is_healthy]
+
+    @property
+    def failed_node_ids(self) -> list[int]:
+        """Ids of crashed compute nodes, ascending."""
+        return [node.node_id for node in self.nodes if node.failed]
+
+    def fail_node(self, node_id: int) -> Node:
+        """Crash compute node *node_id* now; returns the node."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ConfigurationError(f"unknown compute node id {node_id}")
+        node = self.nodes[node_id]
+        node.fail()
+        return node
+
+    @property
     def total_cores(self) -> int:
         """Total CPU cores in the cluster."""
         return self.node_count * self.spec.node_spec.core_count

@@ -11,11 +11,23 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.metering import EnergyReport, Metering
 from repro.cuda.events import Profiler
 from repro.cuda.runtime import CudaContext
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    MessageLostError,
+    MPITimeoutError,
+    NodeFailure,
+    RankFailedError,
+    SimulationError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSchedule
 from repro.hardware.cpu import CoreExecution, WorkloadCPUProfile
 from repro.hardware.node import Node
-from repro.mpi import Communicator, CommWorld
+from repro.mpi import Communicator, CommWorld, RetryPolicy
 from repro.units import mflops_per_watt as units_mflops_per_watt
+
+#: The typed failures a degraded-mode job absorbs instead of propagating.
+FAULT_ERRORS = (NodeFailure, RankFailedError, MPITimeoutError, MessageLostError)
 
 
 @dataclass
@@ -127,6 +139,21 @@ class JobResult:
     gpu_flops: float
     cpu_flops: float
     gpu_profilers: list[Profiler]
+    #: rank -> failure description, for ranks that died or hung during a
+    #: degraded-mode run (empty on a healthy run).
+    failures: dict[int, str] = field(default_factory=dict)
+    #: Total MPI send retries across all ranks (lost-message recovery).
+    comm_retries: int = 0
+
+    @property
+    def failed_ranks(self) -> tuple[int, ...]:
+        """Ranks that did not complete, ascending."""
+        return tuple(sorted(self.failures))
+
+    @property
+    def completed(self) -> bool:
+        """True when every rank finished its program."""
+        return not self.failures
 
     @property
     def total_flops(self) -> float:
@@ -170,13 +197,21 @@ class Job:
         pin_affinity: bool = True,
         seed: int = 0,
         rng: np.random.Generator | None = None,
+        faults: FaultSchedule | FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        on_fault: str = "raise",
     ) -> None:
         if ranks_per_node < 1:
             raise ConfigurationError("ranks_per_node must be >= 1")
+        if on_fault not in ("raise", "tolerate"):
+            raise ConfigurationError(
+                f"on_fault must be 'raise' or 'tolerate', got {on_fault!r}"
+            )
         self.cluster = cluster
         self.ranks_per_node = ranks_per_node
         self.tracer = tracer
         self.pin_affinity = pin_affinity
+        self.on_fault = on_fault
         # OS-noise stream: an injected generator wins (lets a driver share
         # one seeded stream across jobs); otherwise seeded privately so two
         # jobs with the same seed draw identical jitter.
@@ -184,9 +219,25 @@ class Job:
         self._migration_penalty: dict[int, float] = {}
         self.size = cluster.node_count * ranks_per_node
         self._rank_to_node = [r // ranks_per_node for r in range(self.size)]
-        self.world = CommWorld(
-            cluster.env, cluster.fabric, self._rank_to_node, tracer=tracer
+        if isinstance(faults, FaultSchedule):
+            self._injector: FaultInjector | None = FaultInjector(faults, cluster)
+        else:
+            self._injector = faults
+            if faults is not None and faults.cluster is not cluster:
+                raise ConfigurationError(
+                    "fault injector is bound to a different cluster"
+                )
+        # The world's backoff-jitter stream keys on the fault seed so one
+        # schedule fully determines a degraded run.
+        world_seed = (
+            self._injector.schedule.seed + 3 if self._injector is not None else seed
         )
+        self.world = CommWorld(
+            cluster.env, cluster.fabric, self._rank_to_node, tracer=tracer,
+            retry=retry, seed=world_seed,
+        )
+        if self._injector is not None:
+            self._injector.bind_job(self)
         self._cuda: dict[int, CudaContext] = {}
         for node in cluster.nodes:
             if node.has_gpu:
@@ -210,18 +261,27 @@ class Job:
         keeps bouncing between cores stays slow) plus small per-block noise
         — which is why the paper saw the run-to-run standard deviation
         collapse ~30x when it fixed task affinity on the ThunderX.
+
+        An injected straggler fault multiplies on top of OS noise (the
+        multiplier is exactly 1.0 for non-straggler ranks, preserving the
+        empty-schedule no-op).
         """
+        straggler = (
+            self._injector.straggler_multiplier(rank)
+            if self._injector is not None
+            else 1.0
+        )
         if self.pin_affinity:
             if rank not in self._migration_penalty:
                 self._migration_penalty[rank] = abs(float(self._rng.normal(0.0, 0.002)))
-            return 1.0 + self._migration_penalty[rank]
+            return (1.0 + self._migration_penalty[rank]) * straggler
         if rank not in self._migration_penalty:
             self._migration_penalty[rank] = abs(float(self._rng.normal(0.04, 0.06)))
         return (
             1.0
             + self._migration_penalty[rank]
             + abs(float(self._rng.normal(0.0, 0.01)))
-        )
+        ) * straggler
 
     def contexts(self) -> list[RankContext]:
         """Build the per-rank contexts (exposed for custom drivers)."""
@@ -240,13 +300,28 @@ class Job:
         return ctxs
 
     def run(self, workload: Callable[[RankContext], Any]) -> JobResult:
-        """Execute the SPMD *workload* and measure everything."""
+        """Execute the SPMD *workload* and measure everything.
+
+        With ``on_fault="raise"`` (the default) the first injected failure
+        propagates to the caller as its typed exception.  With
+        ``on_fault="tolerate"`` failed ranks are recorded in
+        :attr:`JobResult.failures` and the surviving ranks run to completion
+        (or to deadlock on a dead peer, which is also recorded).
+        """
         env = self.cluster.env
         start = env.now
         contexts = self.contexts()
         procs = [env.process(workload(ctx)) for ctx in contexts]
-        for proc in procs:
-            env.run(until=proc)
+        if self._injector is not None:
+            for rank, proc in enumerate(procs):
+                self._injector.register_rank(rank, self._rank_to_node[rank], proc)
+            self._injector.arm()
+        failures: dict[int, str] = {}
+        if self.on_fault == "tolerate":
+            self._drive_tolerant(procs, failures)
+        else:
+            for proc in procs:
+                env.run(until=proc)
         elapsed = env.now - start
 
         metering = Metering(self.cluster)
@@ -261,7 +336,9 @@ class Job:
         return JobResult(
             elapsed_seconds=elapsed,
             energy=energy,
-            rank_values=[p.value for p in procs],
+            rank_values=[
+                p.value if (p.triggered and p.ok) else None for p in procs
+            ],
             counters=[ctx.counters for ctx in contexts],
             comm_seconds=[s.comm_seconds for s in self.world.stats],
             network_bytes=self.cluster.fabric.total_bytes,
@@ -269,4 +346,45 @@ class Job:
             gpu_flops=gpu_flops,
             cpu_flops=sum(ctx.counters.cpu_flops for ctx in contexts),
             gpu_profilers=[c.profiler for c in self._cuda.values()],
+            failures=failures,
+            comm_retries=sum(s.retries for s in self.world.stats),
         )
+
+    def _drive_tolerant(self, procs: list, failures: dict[int, str]) -> None:
+        """Drive every rank, absorbing injected faults instead of raising.
+
+        ``env.run(until=proc)`` surfaces the failure of *any* process, not
+        just the target, so each caught fault is attributed by scanning for
+        the proc that actually holds that exception.  When the event queue
+        drains while some procs are still pending (survivors blocked forever
+        on a dead peer), those ranks are recorded as hung.  Non-fault
+        exceptions (genuine bugs) still propagate.
+        """
+        env = self.cluster.env
+
+        def _attribute(exc: BaseException) -> None:
+            # An unmatched exception is an orphan: a helper process (e.g. a
+            # sendrecv leg) failing after its rank already died.  Absorb it —
+            # the owning rank's own failure is recorded separately.
+            for rank, proc in enumerate(procs):
+                if rank in failures or not proc.triggered or proc.ok:
+                    continue
+                if proc.value is exc:
+                    failures[rank] = str(exc)
+                    return
+
+        while True:
+            pending = [p for p in procs if not p.triggered]
+            if not pending:
+                return
+            try:
+                env.run(until=pending[0])
+            except FAULT_ERRORS as exc:
+                _attribute(exc)
+            except SimulationError:
+                # Queue drained with procs still pending: survivors are
+                # deadlocked on dead peers.
+                for rank, proc in enumerate(procs):
+                    if not proc.triggered and rank not in failures:
+                        failures[rank] = "hung (blocked on a failed rank)"
+                return

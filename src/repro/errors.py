@@ -23,8 +23,44 @@ class CudaError(ReproError):
     """Raised by the simulated CUDA runtime (bad handles, OOM, misuse)."""
 
 
+class NetworkError(ReproError):
+    """Raised by the network fabric (detached endpoints, link misuse)."""
+
+
+class MessageLostError(NetworkError):
+    """Raised when a transfer completed its wire time but the payload was
+    dropped (lossy link or flap window under fault injection)."""
+
+
+class NodeFailure(ReproError):
+    """A node crashed.
+
+    Raised by the fabric when a transfer touches a dead endpoint, and thrown
+    into the rank generators resident on the node when a
+    :class:`repro.faults.FaultInjector` fires a crash.
+    """
+
+    def __init__(self, node_id: int, message: str | None = None) -> None:
+        super().__init__(message or f"node {node_id} has failed")
+        self.node_id = node_id
+
+
 class MPIError(ReproError):
     """Raised by the simulated MPI layer (bad ranks, mismatched buffers)."""
+
+
+class MPITimeoutError(MPIError):
+    """A send or receive exceeded its (simulated-time) timeout budget,
+    including any configured retries."""
+
+
+class RankFailedError(MPIError):
+    """A communication peer is dead; collectives use this to fail fast with
+    the dead rank identified."""
+
+    def __init__(self, rank: int, message: str | None = None) -> None:
+        super().__init__(message or f"rank {rank} has failed")
+        self.rank = rank
 
 
 class TraceError(ReproError):

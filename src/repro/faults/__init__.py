@@ -1,0 +1,37 @@
+"""Deterministic fault injection for degraded-cluster experiments.
+
+The subsystem splits into pure data and execution:
+
+* :mod:`repro.faults.model` — typed fault specs (:class:`NodeCrash`,
+  :class:`NicDegradation`, :class:`LinkFlap`, :class:`StragglerJitter`,
+  :class:`MessageLoss`) collected into a validated :class:`FaultSchedule`.
+* :mod:`repro.faults.injector` — :class:`FaultInjector` binds a schedule to
+  a live cluster: crash processes, seeded loss draws, straggler multipliers.
+* :mod:`repro.faults.experiments` — degraded reruns of the paper's
+  experiments (imported lazily to avoid a cycle through ``cluster.job``).
+
+An empty schedule is guaranteed to be a no-op: wiring the fault layer into
+a run with no faults reproduces the baseline bit-for-bit.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FaultSchedule,
+    FaultSpec,
+    LinkFlap,
+    MessageLoss,
+    NicDegradation,
+    NodeCrash,
+    StragglerJitter,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "LinkFlap",
+    "MessageLoss",
+    "NicDegradation",
+    "NodeCrash",
+    "StragglerJitter",
+]

@@ -78,6 +78,21 @@ class Node:
 
         self.network_bytes_sent = 0.0
         self.network_bytes_received = 0.0
+        # Health state: set by the fault-injection layer; a failed node's
+        # NIC refuses transfers and its resident ranks are dead.
+        self.failed = False
+        self.failed_at: float | None = None
+
+    @property
+    def is_healthy(self) -> bool:
+        """True while the node has not been failed by fault injection."""
+        return not self.failed
+
+    def fail(self) -> None:
+        """Mark this node as crashed at the current simulated time."""
+        if not self.failed:
+            self.failed = True
+            self.failed_at = self.env.now
 
     @property
     def has_gpu(self) -> bool:

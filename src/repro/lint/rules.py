@@ -432,7 +432,21 @@ class UnitSafetyRule(Rule):
 # RL005 — error hierarchy
 # ---------------------------------------------------------------------------
 
-_AD_HOC_ERRORS = {"ValueError", "RuntimeError"}
+_AD_HOC_ERRORS = {
+    "ValueError",
+    "RuntimeError",
+    # Fault paths: builtin error types that hide injected failures from
+    # callers catching the typed taxonomy (NetworkError, MPITimeoutError,
+    # RankFailedError, NodeFailure, ...).
+    "TimeoutError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "ConnectionAbortedError",
+    "BrokenPipeError",
+    "OSError",
+    "IOError",
+    "InterruptedError",
+}
 
 
 @register

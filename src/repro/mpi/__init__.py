@@ -9,6 +9,20 @@ Collectives use binomial-tree algorithms so their cost scales as
 ``O(log P)`` rounds like a real MPI implementation.
 """
 
-from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator, CommWorld, Message
+from repro.mpi.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    CommWorld,
+    Message,
+    RetryPolicy,
+)
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "CommWorld", "Communicator", "Message"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommWorld",
+    "Communicator",
+    "Message",
+    "RetryPolicy",
+]

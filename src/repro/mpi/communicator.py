@@ -7,7 +7,13 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.errors import MPIError
+from repro.errors import (
+    MessageLostError,
+    MPIError,
+    MPITimeoutError,
+    NodeFailure,
+    RankFailedError,
+)
 from repro.network.fabric import Fabric
 from repro.sim import Environment, Store
 from repro.units import kib
@@ -57,6 +63,47 @@ class CommStats:
     messages_sent: int = 0
     messages_received: int = 0
     comm_seconds: float = 0.0  # time this rank spent inside comm calls
+    retries: int = 0  # resends after a lost payload (fault injection)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Degraded-mode p2p semantics: recv timeouts and send retry/backoff.
+
+    All delays are simulated seconds.  ``timeout`` bounds how long a receive
+    (or a collective's internal receive) waits before raising
+    :class:`MPITimeoutError` — or :class:`RankFailedError` when the awaited
+    peer is known dead.  A send whose payload is lost on the wire is retried
+    up to ``max_retries`` times, sleeping
+    ``backoff_base * backoff_factor**attempt`` (+- ``jitter`` drawn from the
+    world's seeded RNG) between attempts.
+    """
+
+    timeout: float = 1.0
+    max_retries: int = 3
+    backoff_base: float = 1.0e-3
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise MPIError(f"retry timeout must be positive, got {self.timeout}")
+        if self.max_retries < 0:
+            raise MPIError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise MPIError(
+                "backoff_base must be >= 0 and backoff_factor >= 1, got "
+                f"{self.backoff_base}/{self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise MPIError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_seconds(self, attempt: int, rng: np.random.Generator) -> float:
+        """Delay before resend *attempt* (0-based), with seeded jitter."""
+        base = self.backoff_base * self.backoff_factor**attempt
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        return base * (1.0 + self.jitter * float(rng.uniform(-1.0, 1.0)))
 
 
 class CommWorld:
@@ -72,6 +119,8 @@ class CommWorld:
         fabric: Fabric,
         rank_to_node: list[int],
         tracer: Any = None,
+        retry: RetryPolicy | None = None,
+        seed: int = 0,
     ) -> None:
         if not rank_to_node:
             raise MPIError("world must have at least one rank")
@@ -82,6 +131,9 @@ class CommWorld:
         self.fabric = fabric
         self.rank_to_node = list(rank_to_node)
         self.tracer = tracer
+        self.retry = retry
+        self._retry_rng = np.random.default_rng(seed)
+        self._failed_ranks: set[int] = set()
         self._mailboxes = [Store(env) for _ in rank_to_node]
         self.stats = [CommStats() for _ in rank_to_node]
 
@@ -89,6 +141,29 @@ class CommWorld:
     def size(self) -> int:
         """Number of ranks."""
         return len(self.rank_to_node)
+
+    # -- rank health (fault injection) -----------------------------------------
+
+    def mark_rank_failed(self, rank: int) -> None:
+        """Record *rank* as dead; later traffic to/from it fails fast."""
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range [0, {self.size})")
+        self._failed_ranks.add(rank)
+
+    def is_failed(self, rank: int) -> bool:
+        """Whether *rank* has been marked dead."""
+        return rank in self._failed_ranks
+
+    def mark_ranks_on_node(self, node_id: int) -> None:
+        """Mark every rank hosted on *node_id* as dead (node crash)."""
+        for rank, host in enumerate(self.rank_to_node):
+            if host == node_id:
+                self._failed_ranks.add(rank)
+
+    @property
+    def failed_ranks(self) -> tuple[int, ...]:
+        """Dead ranks, ascending."""
+        return tuple(sorted(self._failed_ranks))
 
     def communicator(self, rank: int) -> "Communicator":
         """The communicator endpoint for *rank*."""
@@ -126,6 +201,13 @@ class Communicator:
 
         ``nbytes`` overrides the wire size (used by scaled workloads whose
         in-memory arrays stand in for much larger ones).
+
+        Degraded-mode semantics (active only when the world carries a
+        :class:`RetryPolicy` or faults are injected): a payload lost on the
+        wire is resent after seeded exponential backoff, up to
+        ``max_retries`` times, then raises :class:`MPITimeoutError`; a send
+        to a dead rank (or through a dead node) raises
+        :class:`RankFailedError` naming the dead peer.
         """
         if not 0 <= dest < self.size:
             raise MPIError(f"bad destination rank {dest}")
@@ -133,34 +215,94 @@ class Communicator:
             raise MPIError("send tag must be non-negative")
         world = self.world
         env = self.env
+        if world.is_failed(dest):
+            raise RankFailedError(dest, f"send to dead rank {dest} (tag {tag})")
         wire_bytes = MESSAGE_HEADER_BYTES + (
             payload_nbytes(data) if nbytes is None else float(nbytes)
         )
         start = env.now
         src_node = world.rank_to_node[self.rank]
         dst_node = world.rank_to_node[dest]
-        yield from world.fabric.transfer(src_node, dst_node, wire_bytes)
+        stats = world.stats[self.rank]
+        attempt = 0
+        while True:
+            try:
+                yield from world.fabric.transfer(src_node, dst_node, wire_bytes)
+                break
+            except MessageLostError:
+                stats.bytes_sent += wire_bytes  # the attempt did hit the wire
+                policy = world.retry
+                if policy is None or attempt >= policy.max_retries:
+                    raise MPITimeoutError(
+                        f"send from rank {self.rank} to rank {dest} (tag {tag}) "
+                        f"lost {attempt + 1} time(s); retries exhausted"
+                    ) from None
+                stats.retries += 1
+                delay = policy.backoff_seconds(attempt, world._retry_rng)
+                if delay > 0.0:
+                    yield env.timeout(delay)
+                attempt += 1
+            except NodeFailure as exc:
+                world.mark_ranks_on_node(exc.node_id)
+                dead = dest if world.rank_to_node[dest] == exc.node_id else self.rank
+                raise RankFailedError(
+                    dead,
+                    f"send from rank {self.rank} to rank {dest} (tag {tag}) "
+                    f"failed: {exc}",
+                ) from exc
         message = Message(self.rank, dest, tag, data, wire_bytes, start)
         yield world._mailboxes[dest].put(message)
-        stats = world.stats[self.rank]
         stats.bytes_sent += wire_bytes
         stats.messages_sent += 1
         stats.comm_seconds += env.now - start
         if world.tracer is not None:
             world.tracer.record_comm(self.rank, dest, wire_bytes, start, env.now, tag)
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Blocking receive; returns the payload."""
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: float | None = None):
+        """Blocking receive; returns the payload.
+
+        ``timeout`` bounds the wait in simulated seconds; it defaults to the
+        world's :class:`RetryPolicy` timeout when one is set, so collectives
+        inherit fail-fast behaviour under fault injection.  On expiry the
+        receive raises :class:`RankFailedError` when the awaited peer is
+        known dead, :class:`MPITimeoutError` otherwise.
+        """
         world = self.world
         env = self.env
         start = env.now
+        if source != ANY_SOURCE and world.is_failed(source):
+            raise RankFailedError(
+                source, f"recv on rank {self.rank} from dead rank {source} (tag {tag})"
+            )
+        if timeout is None and world.retry is not None:
+            timeout = world.retry.timeout
 
         def matches(msg: Message) -> bool:
             return (source == ANY_SOURCE or msg.src == source) and (
                 tag == ANY_TAG or msg.tag == tag
             )
 
-        message = yield world._mailboxes[self.rank].get(filter=matches)
+        mailbox = world._mailboxes[self.rank]
+        if timeout is None:
+            message = yield mailbox.get(filter=matches)
+        else:
+            get_ev = mailbox.get(filter=matches)
+            yield env.any_of([get_ev, env.timeout(timeout)])
+            if not get_ev.triggered:
+                mailbox.cancel(get_ev)
+                if source != ANY_SOURCE and world.is_failed(source):
+                    raise RankFailedError(
+                        source,
+                        f"recv on rank {self.rank}: rank {source} died while "
+                        f"awaited (tag {tag})",
+                    )
+                raise MPITimeoutError(
+                    f"recv on rank {self.rank} from "
+                    f"{'any source' if source == ANY_SOURCE else f'rank {source}'} "
+                    f"(tag {tag}) timed out after {timeout} s"
+                )
+            message = get_ev.value
         stats = world.stats[self.rank]
         stats.bytes_received += message.nbytes
         stats.messages_received += 1

@@ -3,8 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    MessageLostError,
+    NetworkError,
+    NodeFailure,
+)
 from repro.hardware.node import Node
 from repro.network.switch import SwitchSpec
 from repro.sim import Environment
@@ -28,12 +34,30 @@ class TransferRecord:
         return self.end - self.start
 
 
+class LinkFaultModel(Protocol):
+    """What the fabric needs from a fault injector (see ``repro.faults``).
+
+    The fabric stays fault-agnostic: with no injector attached every hook
+    below behaves as ``1.0`` / ``False`` and the happy path is untouched.
+    """
+
+    def rate_multiplier(self, node_id: int) -> float:
+        """Per-link NIC bandwidth multiplier in (0, 1] at the current time."""
+
+    def message_dropped(self, src_id: int, dst_id: int) -> bool:
+        """Whether this transfer's payload is lost (drawn from a seeded RNG)."""
+
+
 class Fabric:
     """A star topology: every node hangs off one switch.
 
     Intra-node transfers short-circuit through DRAM (loopback).  The switch's
     bisection bandwidth throttles per-flow rate when the number of concurrent
     flows oversubscribes it.
+
+    A :class:`LinkFaultModel` can be attached with :meth:`set_fault_injector`
+    to degrade per-link rates and drop payloads; transfers touching a failed
+    node raise :class:`NodeFailure`.
     """
 
     def __init__(self, env: Environment, switch: SwitchSpec) -> None:
@@ -42,7 +66,10 @@ class Fabric:
         self.nodes: dict[int, Node] = {}
         self.total_bytes = 0.0
         self.total_transfers = 0
+        self.dropped_bytes = 0.0
+        self.dropped_transfers = 0
         self._active_flows = 0
+        self._injector: LinkFaultModel | None = None
 
     def attach(self, node: Node) -> None:
         """Register *node* on the fabric."""
@@ -50,26 +77,56 @@ class Fabric:
             raise ConfigurationError(f"node id {node.node_id} already attached")
         self.nodes[node.node_id] = node
 
+    def set_fault_injector(self, injector: LinkFaultModel | None) -> None:
+        """Attach (or detach, with ``None``) a fault injector to every link."""
+        self._injector = injector
+
+    def _endpoint(self, node_id: int) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise NetworkError(
+                f"node id {node_id} is not attached to this fabric"
+            ) from None
+
     def _flow_rate(self, src: Node, dst: Node) -> float:
-        """Effective bytes/s for one flow given current fabric load."""
-        endpoint = min(src.nic.achievable_rate, dst.nic.achievable_rate)
+        """Effective bytes/s for one flow given current fabric load and
+        any fault-injected per-link degradation."""
+        src_rate = src.nic.achievable_rate
+        dst_rate = dst.nic.achievable_rate
+        if self._injector is not None:
+            src_rate *= self._injector.rate_multiplier(src.node_id)
+            dst_rate *= self._injector.rate_multiplier(dst.node_id)
+        endpoint = min(src_rate, dst_rate)
         flows = max(1, self._active_flows)
         fair_share = self.switch.bisection_bandwidth / flows
         return min(endpoint, fair_share)
+
+    def _check_alive(self, node: Node) -> None:
+        if node.failed:
+            raise NodeFailure(
+                node.node_id,
+                f"node {node.node_id} is down (failed at t={node.failed_at})",
+            )
 
     def transfer(self, src_id: int, dst_id: int, nbytes: float):
         """Generator process moving *nbytes* from ``src_id`` to ``dst_id``.
 
         Returns a :class:`TransferRecord`; charge it with
         ``record = yield from fabric.transfer(...)`` inside a sim process.
+
+        Under fault injection the flow rate is sampled at flow start (a
+        degradation window opening mid-flight applies from the next
+        transfer), dropped payloads consume their full wire time before
+        raising :class:`MessageLostError`, and a transfer touching a crashed
+        endpoint raises :class:`NodeFailure`.
         """
         if nbytes < 0:
             raise ConfigurationError("transfer size must be non-negative")
-        try:
-            src = self.nodes[src_id]
-            dst = self.nodes[dst_id]
-        except KeyError as exc:
-            raise ConfigurationError(f"unknown node id {exc.args[0]}") from None
+        src = self._endpoint(src_id)
+        dst = self._endpoint(dst_id)
+        self._check_alive(src)
+        self._check_alive(dst)
         env = self.env
         start = env.now
 
@@ -81,18 +138,39 @@ class Fabric:
 
         tx_req = src.nic_tx.request()
         rx_req = dst.nic_rx.request()
-        yield env.all_of([tx_req, rx_req])
-        queued = env.now - start
+        granted = False
+        dropped = False
         try:
+            yield env.all_of([tx_req, rx_req])
+            granted = True
+            queued = env.now - start
             self._active_flows += 1
             rate = self._flow_rate(src, dst)
+            # The loss draw happens at flow start so the RNG consumption
+            # order is deterministic regardless of completion order.
+            if self._injector is not None:
+                dropped = self._injector.message_dropped(src_id, dst_id)
             latency = src.nic.latency_one_way + self.switch.latency
             wire = latency + (nbytes / rate if nbytes else 0.0)
             yield env.timeout(wire)
         finally:
-            self._active_flows -= 1
+            if granted:
+                self._active_flows -= 1
+            # release() also withdraws still-queued requests, so a process
+            # killed while waiting for the NIC does not leak a slot.
             src.nic_tx.release(tx_req)
             dst.nic_rx.release(rx_req)
+
+        # A crash that landed mid-flight eats the payload.
+        self._check_alive(src)
+        self._check_alive(dst)
+        if dropped:
+            self.dropped_bytes += nbytes
+            self.dropped_transfers += 1
+            raise MessageLostError(
+                f"transfer of {nbytes:.0f} B from node {src_id} to node "
+                f"{dst_id} lost on the wire at t={env.now:.6f}"
+            )
 
         src.record_send(nbytes)
         dst.record_receive(nbytes)

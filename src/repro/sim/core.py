@@ -163,6 +163,17 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
+        self.throw(Interrupt(cause))
+
+    def throw(self, exception: BaseException) -> None:
+        """Throw an arbitrary *exception* into the process at the current time.
+
+        The fault-injection layer uses this to deliver typed failures (e.g.
+        :class:`repro.errors.NodeFailure`) into rank generators; plain
+        cooperative wake-ups should prefer :meth:`interrupt`.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"throw() needs an exception, got {exception!r}")
         if self.triggered:
             raise SimulationError("cannot interrupt a finished process")
         if self.env.active_process is self:
@@ -170,7 +181,7 @@ class Process(Event):
         # Deliver via a little failed event so ordering goes through the queue.
         hit = Event(self.env)
         hit._ok = False
-        hit._value = Interrupt(cause)
+        hit._value = exception
         hit._defused = True
         hit.callbacks = [self._resume]
         self.env.schedule(hit, priority=URGENT)

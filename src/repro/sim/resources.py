@@ -213,6 +213,16 @@ class Store:
         self._settle()
         return ev
 
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending :meth:`get` (or :meth:`put`) event.
+
+        Used by timed receives: once the timeout wins the race, the getter
+        must be removed so it cannot swallow a later item.  Cancelling an
+        event that already fired (or was never issued here) is a no-op.
+        """
+        self._getters = [(p, ev) for (p, ev) in self._getters if ev is not event]
+        self._putters = [(i, ev) for (i, ev) in self._putters if ev is not event]
+
     def _settle(self) -> None:
         progress = True
         while progress:

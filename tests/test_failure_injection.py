@@ -200,3 +200,87 @@ def test_nan_and_inf_payloads_survive_transport():
     result = env.run(until=proc)
     assert np.isnan(result[0])
     assert np.isposinf(result[1]) and np.isneginf(result[2])
+
+
+# -- injected faults: lost messages, timeouts, dead ranks, node crashes ---------
+
+
+def test_transfer_to_failed_node_raises_node_failure():
+    from repro.errors import NodeFailure
+
+    env, fabric, nodes = build_tx1_fabric(2)
+    nodes[1].fail()
+
+    def go():
+        yield from fabric.transfer(0, 1, 1024.0)
+
+    with pytest.raises(NodeFailure) as info:
+        env.run(until=env.process(go()))
+    assert info.value.node_id == 1
+
+
+def test_lost_message_without_retry_policy_is_a_timeout():
+    from repro.errors import MPITimeoutError
+    from repro.faults import FaultInjector, FaultSchedule, LinkFlap
+
+    cluster = Cluster(tx1_cluster_spec(2))
+    FaultInjector(
+        FaultSchedule([LinkFlap(node_id=1, start=0.0, end=1e6)]), cluster
+    ).arm()
+    world = CommWorld(cluster.env, cluster.fabric, [0, 1])
+
+    def sender(comm):
+        yield from comm.send(b"doomed", dest=1)
+
+    proc = cluster.env.process(sender(world.communicator(0)))
+    with pytest.raises(MPITimeoutError, match="retries exhausted"):
+        cluster.env.run(until=proc)
+    assert cluster.fabric.dropped_transfers == 1
+    assert cluster.fabric.dropped_bytes > 0
+
+
+def test_collective_fails_fast_naming_the_dead_rank():
+    from repro.errors import RankFailedError
+    from repro.mpi import RetryPolicy
+
+    cluster = Cluster(tx1_cluster_spec(4))
+    world = CommWorld(
+        cluster.env, cluster.fabric, [0, 1, 2, 3],
+        retry=RetryPolicy(timeout=0.01),
+    )
+    world.mark_rank_failed(2)
+
+    def member(comm):
+        result = yield from comm.allreduce(float(comm.rank))
+        return result
+
+    procs = [
+        cluster.env.process(member(world.communicator(r))) for r in (0, 1, 3)
+    ]
+    with pytest.raises(RankFailedError) as info:
+        for proc in procs:
+            cluster.env.run(until=proc)
+    assert info.value.rank == 2
+
+
+def test_node_crash_mid_job_kills_resident_rank():
+    from repro.faults import FaultSchedule, NodeCrash
+    from repro.mpi import RetryPolicy
+
+    cluster = Cluster(tx1_cluster_spec(2))
+    workload = JacobiWorkload(n=512, iterations=5)
+    probe = workload.run_on(Cluster(tx1_cluster_spec(2)))
+    schedule = FaultSchedule([
+        NodeCrash(node_id=0, at=0.5 * probe.elapsed_seconds),
+    ])
+    result = workload.run_on(
+        cluster,
+        faults=schedule,
+        retry=RetryPolicy(timeout=0.2 * probe.elapsed_seconds),
+        on_fault="tolerate",
+    )
+    assert not result.completed
+    assert 0 in result.failed_ranks
+    assert "node 0 crashed" in result.failures[0]
+    assert cluster.nodes[0].failed and cluster.nodes[0].failed_at is not None
+    assert cluster.healthy_nodes == [cluster.nodes[1]]

@@ -135,6 +135,31 @@ def test_registry_covers_all_six_rules():
 # -- rule-specific edges ------------------------------------------------------
 
 
+@pytest.mark.parametrize(
+    "name",
+    ["TimeoutError", "ConnectionError", "ConnectionResetError", "BrokenPipeError",
+     "OSError", "IOError", "InterruptedError"],
+)
+def test_error_hierarchy_flags_fault_path_builtins(name):
+    source = (
+        "def deliver(ok):\n"
+        "    if not ok:\n"
+        f"        raise {name}('link down')\n"
+    )
+    found = lint_source(source, path="src/repro/network/toy.py")
+    assert [f.rule for f in found] == ["RL005"]
+
+
+def test_error_hierarchy_accepts_fault_taxonomy():
+    source = (
+        "from repro.errors import MPITimeoutError\n\n\n"
+        "def deliver(ok):\n"
+        "    if not ok:\n"
+        "        raise MPITimeoutError('no ack within the retry budget')\n"
+    )
+    assert lint_source(source, path="src/repro/mpi/toy.py") == []
+
+
 def test_determinism_catches_global_numpy_and_stdlib_rng():
     src = (
         "import random\nimport numpy as np\n\n\ndef f():\n"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NetworkError
 from repro.hardware import catalog
 from repro.network import Fabric, SwitchSpec, iperf, ping_pong
 from repro.units import gbit_s, to_gbit_s, to_ms, us
@@ -109,7 +109,7 @@ def test_unknown_node_rejected(tx1_pair):
     def go():
         yield from fabric.transfer(0, 99, 10.0)
 
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(NetworkError, match="node id 99"):
         env.run(until=env.process(go()))
 
 

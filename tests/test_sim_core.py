@@ -349,3 +349,124 @@ def test_process_return_value_is_event_value():
     env.run()
     assert p.value == {"answer": 42}
     assert p.ok
+
+
+# -- failed events surface their original exception (fault-path guards) --------
+
+
+class _BoomError(Exception):
+    pass
+
+
+def test_run_until_failed_process_raises_original_exception():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise _BoomError("original cause")
+
+    proc = env.process(boom(env))
+    with pytest.raises(_BoomError, match="original cause"):
+        env.run(until=proc)
+
+
+def test_free_run_surfaces_undefused_failure():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise _BoomError("nobody caught me")
+
+    env.process(boom(env))
+    with pytest.raises(_BoomError, match="nobody caught me"):
+        env.run()
+
+
+def test_run_until_time_surfaces_failure_before_deadline():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise _BoomError("mid-run failure")
+
+    env.process(boom(env))
+    with pytest.raises(_BoomError, match="mid-run failure"):
+        env.run(until=10.0)
+
+
+def test_run_until_failed_event_raises_fail_value():
+    env = Environment()
+    event = env.event()
+
+    def failer(env, event):
+        yield env.timeout(0.5)
+        event.fail(_BoomError("typed failure"))
+
+    env.process(failer(env, event))
+    with pytest.raises(_BoomError, match="typed failure"):
+        env.run(until=event)
+
+
+def test_defused_failure_does_not_resurface():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise _BoomError("handled")
+
+    def catcher(env, target):
+        try:
+            yield target
+        except _BoomError:
+            return "caught"
+
+    target = env.process(boom(env))
+    proc = env.process(catcher(env, target))
+    assert env.run(until=proc) == "caught"
+    env.run()  # nothing left to raise
+
+
+# -- Process.throw: typed exception delivery (fault injection) ------------------
+
+
+def test_throw_delivers_typed_exception():
+    env = Environment()
+    seen = []
+
+    def victim(env):
+        try:
+            yield env.timeout(10.0)
+        except _BoomError as exc:
+            seen.append((str(exc), env.now))
+
+    def killer(env, proc):
+        yield env.timeout(2.0)
+        proc.throw(_BoomError("injected"))
+
+    proc = env.process(victim(env))
+    env.process(killer(env, proc))
+    env.run()
+    assert seen == [("injected", 2.0)]
+
+
+def test_throw_requires_exception_instance():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(victim(env))
+    with pytest.raises(SimulationError, match="needs an exception"):
+        proc.throw("not an exception")
+
+
+def test_throw_into_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError, match="finished"):
+        proc.throw(_BoomError("too late"))

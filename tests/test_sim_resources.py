@@ -282,3 +282,41 @@ def test_store_multiple_consumers_each_get_one():
     env.process(producer(env, store))
     env.run()
     assert sorted(item for _, item in got) == ["i1", "i2"]
+
+
+def test_store_cancel_withdraws_pending_getter():
+    """A cancelled getter must not swallow a later put (timed-recv support)."""
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def impatient(env, store):
+        ev = store.get()
+        yield env.timeout(1.0)
+        assert not ev.triggered
+        store.cancel(ev)
+
+    def patient(env, store):
+        item = yield store.get()
+        received.append(item)
+
+    def producer(env, store):
+        yield env.timeout(2.0)
+        yield store.put("only-item")
+
+    env.process(impatient(env, store))
+    env.process(patient(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert received == ["only-item"]
+
+
+def test_store_cancel_fired_event_is_noop():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    ev = store.get()
+    env.run()
+    assert ev.value == "x"
+    store.cancel(ev)  # already fired: must not raise or corrupt state
+    assert store.items == []
