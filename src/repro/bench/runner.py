@@ -54,6 +54,7 @@ def run_workload(
     ranks_per_node: int | None = None,
     traced: bool = False,
     use_cache: bool = True,
+    telemetry: Any = None,
     **workload_kwargs: Any,
 ) -> ExperimentRun:
     """Run benchmark *name* on a cluster and return the measurements.
@@ -61,11 +62,17 @@ def run_workload(
     ``system`` selects the machine: ``"tx1"`` (the proposed cluster),
     ``"gtx980"`` (discrete-GPGPU hosts), or ``"thunderx"`` (the Cavium
     server; *nodes* is ignored, 64 ranks as in §IV-A).
+
+    Passing a :class:`~repro.telemetry.Telemetry` sink records the run; a
+    sink is stateful (it accumulates one timeline), so such runs always
+    bypass the memoization cache.
     """
     key = (
         name, nodes, network, system, ranks_per_node, traced,
         tuple(sorted(workload_kwargs.items())),
     )
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        use_cache = False
     if use_cache and key in _cache:
         return _cache[key]
 
@@ -76,7 +83,9 @@ def run_workload(
     if rpn is None:
         rpn = 64 if system == "thunderx" else workload.default_ranks_per_node
     tracer = Tracer(cluster.node_count * rpn) if traced else None
-    result = workload.run_on(cluster, ranks_per_node=rpn, tracer=tracer)
+    result = workload.run_on(
+        cluster, ranks_per_node=rpn, tracer=tracer, telemetry=telemetry
+    )
     run = ExperimentRun(
         workload=workload,
         cluster=cluster,

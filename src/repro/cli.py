@@ -19,6 +19,14 @@ Commands
     Rerun a benchmark under a fault schedule (node crashes, degraded NICs,
     stragglers, message loss) and report the resilience impact; see
     ``docs/FAULTS.md``.
+``telemetry``
+    Run one workload with the telemetry sink attached and print the span /
+    instrument summary; ``--trace-out`` writes a Chrome-trace JSON (load it
+    at https://ui.perfetto.dev) and ``--metrics-out`` a Prometheus-style
+    snapshot.  See ``docs/TELEMETRY.md``.
+``trace``
+    Run one workload traced and print the Paraver-style timeline plus the
+    per-rank utilization summary (the ``run --timeline`` view, standalone).
 """
 
 from __future__ import annotations
@@ -41,10 +49,50 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _make_telemetry(args: argparse.Namespace):
+    """A Telemetry sink when any telemetry output was requested, else None."""
+    if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)):
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(sample_interval=args.sample_interval)
+
+
+def _write_telemetry(telemetry, args: argparse.Namespace) -> None:
+    """Write the requested exporter outputs and say where they went."""
+    if telemetry is None:
+        return
+    if getattr(args, "trace_out", None):
+        from repro.telemetry import write_chrome_trace
+
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            write_chrome_trace(telemetry, handle)
+        print(f"wrote Chrome trace ({len(telemetry.spans)} spans, "
+              f"{len(telemetry.samples)} samples) to {args.trace_out}")
+    if getattr(args, "metrics_out", None):
+        from repro.telemetry import to_prometheus_text
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus_text(telemetry.registry))
+        print(f"wrote metrics snapshot ({len(telemetry.registry)} instruments) "
+              f"to {args.metrics_out}")
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome/Perfetto trace-event JSON here")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write a Prometheus-style metrics snapshot here")
+    parser.add_argument("--sample-interval", type=float, default=0.1,
+                        help="utilization sampling period in simulated "
+                             "seconds (0 disables sampling)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.bench.runner import run_workload
     from repro.tracing import render_timeline, utilization_summary
 
+    telemetry = _make_telemetry(args)
     run = run_workload(
         args.workload,
         nodes=args.nodes,
@@ -52,6 +100,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         system=args.system,
         traced=args.timeline,
         use_cache=False,
+        telemetry=telemetry,
     )
     result = run.result
     print(f"{args.workload} on {run.cluster.spec.name}:")
@@ -72,6 +121,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(render_timeline(run.trace, width=args.width))
         print()
         print(utilization_summary(run.trace))
+    _write_telemetry(telemetry, args)
     return 0
 
 
@@ -96,9 +146,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import experiments as fx
     from repro.faults.model import FaultSchedule
 
+    telemetry = _make_telemetry(args)
     if args.demo:
         report = fx.run_demo(
-            args.workload, nodes=args.nodes, network=args.network, seed=args.seed
+            args.workload, nodes=args.nodes, network=args.network,
+            seed=args.seed, telemetry=telemetry,
         )
     else:
         if args.schedule is None:
@@ -110,9 +162,58 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             schedule = FaultSchedule.from_dict(json.load(handle))
         report = fx.run_degraded(
             args.workload, schedule, nodes=args.nodes, network=args.network,
+            telemetry=telemetry,
         )
     print(fx.format_report(report))
+    _write_telemetry(telemetry, args)
     return 0 if report.completed else 1
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_workload
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(sample_interval=args.sample_interval)
+    run = run_workload(
+        args.workload,
+        nodes=args.nodes,
+        network=args.network,
+        system=args.system,
+        traced=True,
+        use_cache=False,
+        telemetry=telemetry,
+    )
+    print(f"{args.workload} on {run.cluster.spec.name}: "
+          f"{run.result.elapsed_seconds:.4f} s simulated")
+    print(f"  spans      : {len(telemetry.spans)} across "
+          f"{len(telemetry.tracks())} tracks")
+    for category, count in telemetry.span_counts().items():
+        print(f"    {category:<8}: {count}")
+    print(f"  samples    : {len(telemetry.samples)} "
+          f"(every {telemetry.sample_interval} s)")
+    print(f"  instruments: {len(telemetry.registry)}")
+    for instrument in telemetry.registry.instruments():
+        print(f"    {instrument.kind:<9} {instrument.name}")
+    _write_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_workload
+    from repro.tracing import render_timeline, utilization_summary
+
+    run = run_workload(
+        args.workload,
+        nodes=args.nodes,
+        network=args.network,
+        system=args.system,
+        traced=True,
+        use_cache=False,
+    )
+    print(render_timeline(run.trace, width=args.width))
+    print()
+    print(utilization_summary(run.trace))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -253,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collect a trace and print a Paraver-style timeline")
     run_p.add_argument("--width", type=int, default=100,
                        help="timeline width in characters")
+    _add_telemetry_arguments(run_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", help="e.g. fig1, table2, fig8, microbench")
@@ -276,6 +378,32 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--network", choices=("1G", "10G"), default="10G")
     faults_p.add_argument("--seed", type=int, default=0,
                           help="schedule seed for --demo")
+    _add_telemetry_arguments(faults_p)
+
+    telemetry_p = sub.add_parser(
+        "telemetry",
+        help="run one workload with the telemetry sink and export the trace",
+    )
+    telemetry_p.add_argument("workload", nargs="?", default="cloverleaf",
+                             choices=sorted(ALL_NAMES))
+    telemetry_p.add_argument("--nodes", type=int, default=4)
+    telemetry_p.add_argument("--network", choices=("1G", "10G"), default="10G")
+    telemetry_p.add_argument("--system", choices=("tx1", "gtx980", "thunderx"),
+                             default="tx1")
+    _add_telemetry_arguments(telemetry_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one workload traced and print timeline + utilization",
+    )
+    trace_p.add_argument("workload", nargs="?", default="jacobi",
+                         choices=sorted(ALL_NAMES))
+    trace_p.add_argument("--nodes", type=int, default=4)
+    trace_p.add_argument("--network", choices=("1G", "10G"), default="10G")
+    trace_p.add_argument("--system", choices=("tx1", "gtx980", "thunderx"),
+                         default="tx1")
+    trace_p.add_argument("--width", type=int, default=100,
+                         help="timeline width in characters")
 
     from repro.lint.cli import add_lint_arguments
 
@@ -297,6 +425,8 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "lint": _cmd_lint,
         "faults": _cmd_faults,
+        "telemetry": _cmd_telemetry,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -24,6 +24,8 @@ from repro.faults.model import FaultSchedule
 from repro.hardware.cpu import CoreExecution, WorkloadCPUProfile
 from repro.hardware.node import Node
 from repro.mpi import Communicator, CommWorld, RetryPolicy
+from repro.telemetry.sampler import UtilizationSampler
+from repro.telemetry.sink import NULL
 from repro.units import mflops_per_watt as units_mflops_per_watt
 
 #: The typed failures a degraded-mode job absorbs instead of propagating.
@@ -109,8 +111,7 @@ class RankContext:
             node.power.add_cpu_busy(self.env.now - start, start=start)
         self.counters.absorb(run)
         node.dram.record_cpu_traffic(run.l2_misses * node.spec.caches.l2.line_bytes)
-        if self.job.tracer is not None:
-            self.job.tracer.record_state(self.rank, state, start, self.env.now)
+        self.job.record_state(self.rank, state, start, self.env.now)
         return run
 
     def gpu_kernel(self, kernel, *, bypass_cache: bool = False, stream=None):
@@ -120,8 +121,7 @@ class RankContext:
         start = self.env.now
         record = yield from self.cuda.launch(kernel, bypass_cache=bypass_cache, stream=stream)
         self.counters.gpu_seconds += record.seconds
-        if self.job.tracer is not None:
-            self.job.tracer.record_state(self.rank, "gpu", start, self.env.now)
+        self.job.record_state(self.rank, "gpu", start, self.env.now)
         return record
 
 
@@ -200,6 +200,7 @@ class Job:
         faults: FaultSchedule | FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         on_fault: str = "raise",
+        telemetry: Any = None,
     ) -> None:
         if ranks_per_node < 1:
             raise ConfigurationError("ranks_per_node must be >= 1")
@@ -212,6 +213,15 @@ class Job:
         self.tracer = tracer
         self.pin_affinity = pin_affinity
         self.on_fault = on_fault
+        self.telemetry = telemetry if telemetry is not None else NULL
+        if self.telemetry.enabled:
+            # One sink observes the whole stack: kernel, fabric, MPI, CUDA,
+            # rank states (via the tracer bridge when a tracer is attached).
+            self.telemetry.bind_env(cluster.env)
+            cluster.env.set_telemetry(self.telemetry)
+            cluster.fabric.set_telemetry(self.telemetry)
+            if tracer is not None:
+                tracer.bind_telemetry(self.telemetry)
         # OS-noise stream: an injected generator wins (lets a driver share
         # one seeded stream across jobs); otherwise seeded privately so two
         # jobs with the same seed draw identical jitter.
@@ -234,20 +244,34 @@ class Job:
         )
         self.world = CommWorld(
             cluster.env, cluster.fabric, self._rank_to_node, tracer=tracer,
-            retry=retry, seed=world_seed,
+            retry=retry, seed=world_seed, telemetry=self.telemetry,
         )
         if self._injector is not None:
             self._injector.bind_job(self)
         self._cuda: dict[int, CudaContext] = {}
         for node in cluster.nodes:
             if node.has_gpu:
-                self._cuda[node.node_id] = CudaContext(
+                context = CudaContext(
                     node, pcie_bandwidth=cluster.spec.pcie_bandwidth
                 )
+                context.set_telemetry(self.telemetry)
+                self._cuda[node.node_id] = context
 
     def ranks_on_node(self, node_id: int) -> int:
         """How many ranks share *node_id* (cache/contention input)."""
         return sum(1 for n in self._rank_to_node if n == node_id)
+
+    def record_state(self, rank: int, state: str, start: float, end: float) -> None:
+        """One compute/GPU burst: a single emission path for both consumers.
+
+        With a tracer attached the record flows through it (and the tracer
+        mirrors it onto any bound telemetry sink); tracerless telemetry runs
+        get the span directly.  Either way exactly one span lands per burst.
+        """
+        if self.tracer is not None:
+            self.tracer.record_state(rank, state, start, end)
+        else:
+            self.telemetry.record_span(f"rank{rank}", state, "rank", start, end)
 
     def cuda_context(self, node_id: int) -> CudaContext | None:
         """The shared CUDA context of a node, if it has a GPU."""
@@ -316,13 +340,30 @@ class Job:
             for rank, proc in enumerate(procs):
                 self._injector.register_rank(rank, self._rank_to_node[rank], proc)
             self._injector.arm()
+        sampler = None
+        if self.telemetry.enabled:
+            self.telemetry.instant("job", "job:start", "job", ranks=self.size)
+            if self.telemetry.sample_interval > 0:
+                sampler = UtilizationSampler(self.telemetry, self.cluster)
+                sampler.start()
         failures: dict[int, str] = {}
-        if self.on_fault == "tolerate":
-            self._drive_tolerant(procs, failures)
-        else:
-            for proc in procs:
-                env.run(until=proc)
+        try:
+            if self.on_fault == "tolerate":
+                self._drive_tolerant(procs, failures)
+            else:
+                for proc in procs:
+                    env.run(until=proc)
+        finally:
+            if sampler is not None:
+                sampler.stop()
         elapsed = env.now - start
+        if self.telemetry.enabled:
+            self.telemetry.instant("job", "job:end", "job",
+                                   elapsed=elapsed, failures=len(failures))
+            self.telemetry.gauge(
+                "job_elapsed_seconds", "wall (simulated) duration of the run",
+                unit="seconds",
+            ).set(elapsed)
 
         metering = Metering(self.cluster)
         energy = metering.report(elapsed)

@@ -9,6 +9,8 @@ from repro.cuda.events import CopyRecord, KernelRecord, Profiler
 from repro.errors import CudaError
 from repro.hardware.node import Node
 from repro.sim import Resource
+from repro.telemetry.instruments import SIZE_BUCKETS
+from repro.telemetry.sink import NULL
 
 
 @dataclass(frozen=True)
@@ -76,6 +78,36 @@ class CudaContext:
         self._live_buffers: dict[int, Buffer] = {}
         assert node.gpu_engine is not None
         self._engine: Resource = node.gpu_engine
+        self._telemetry = NULL
+        self._track = f"cuda.node{node.node_id}"
+        self._wire_instruments()
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a telemetry sink recording kernel/copy spans and counters."""
+        self._telemetry = telemetry if telemetry is not None else NULL
+        self._wire_instruments()
+
+    def _wire_instruments(self) -> None:
+        tm = self._telemetry
+        self._kernels_counter = tm.counter(
+            "cuda_kernels_total", "kernel launches completed",
+        )
+        self._copies_counter = tm.counter(
+            "cuda_copies_total", "explicit copies and UM migrations",
+            labelnames=("kind",),
+        )
+        self._copy_bytes_counter = tm.counter(
+            "cuda_copy_bytes_total", "bytes moved by copies and migrations",
+            unit="bytes", labelnames=("kind",),
+        )
+        self._kernel_seconds_histogram = tm.histogram(
+            "cuda_kernel_seconds", "on-engine kernel execution time",
+            unit="seconds",
+        )
+        self._copy_bytes_histogram = tm.histogram(
+            "cuda_copy_bytes", "size of individual copies",
+            unit="bytes", buckets=SIZE_BUCKETS,
+        )
 
     # -- allocation -------------------------------------------------------------
 
@@ -146,10 +178,16 @@ class CudaContext:
             }.get((dst.space, src.space), "h2d")
 
         start = self.env.now
-        with self.node.copy_engine.request() as req:
-            yield req
-            yield self.env.timeout(self._copy_seconds(size))
+        with self._telemetry.async_span(
+            self._track, f"memcpy:{kind}", "cuda", nbytes=size,
+        ):
+            with self.node.copy_engine.request() as req:
+                yield req
+                yield self.env.timeout(self._copy_seconds(size))
         self.node.dram.record_copy_traffic(size)
+        self._copies_counter.inc(kind=kind)
+        self._copy_bytes_counter.inc(size, kind=kind)
+        self._copy_bytes_histogram.observe(size)
         self.profiler.record_copy(CopyRecord(kind, start, self.env.now, size))
 
     def migrate(self, buf: Buffer, nbytes: float | None = None):
@@ -158,10 +196,16 @@ class CudaContext:
             raise CudaError("migrate applies to managed buffers only")
         size = buf.nbytes if nbytes is None else float(nbytes)
         start = self.env.now
-        with self.node.copy_engine.request() as req:
-            yield req
-            yield self.env.timeout(self.migration_overhead + self._copy_seconds(size))
+        with self._telemetry.async_span(
+            self._track, "migration", "cuda", nbytes=size,
+        ):
+            with self.node.copy_engine.request() as req:
+                yield req
+                yield self.env.timeout(self.migration_overhead + self._copy_seconds(size))
         self.node.dram.record_copy_traffic(size)
+        self._copies_counter.inc(kind="migration")
+        self._copy_bytes_counter.inc(size, kind="migration")
+        self._copy_bytes_histogram.observe(size)
         self.profiler.record_copy(CopyRecord("migration", start, self.env.now, size))
 
     # -- kernels -------------------------------------------------------------------
@@ -175,15 +219,21 @@ class CudaContext:
         against other work on the same :class:`~repro.cuda.stream.Stream`.
         """
         cost = self.gpu_cost(kernel, bypass_cache=bypass_cache)
-        stream_req = stream.enter() if stream is not None else None
-        if stream_req is not None:
-            yield stream_req
-        with self._engine.request() as req:
-            yield req
-            start = self.env.now
-            yield self.env.timeout(cost.seconds)
+        with self._telemetry.async_span(
+            self._track, f"kernel:{kernel.name}", "cuda",
+            flops=kernel.flops, dram_bytes=cost.dram_bytes,
+        ):
+            stream_req = stream.enter() if stream is not None else None
+            if stream_req is not None:
+                yield stream_req
+            with self._engine.request() as req:
+                yield req
+                start = self.env.now
+                yield self.env.timeout(cost.seconds)
         if stream is not None:
             stream.leave(stream_req)
+        self._kernels_counter.inc()
+        self._kernel_seconds_histogram.observe(cost.seconds)
         self.node.power.add_gpu_busy(cost.seconds, start=start)
         self.node.dram.record_gpu_traffic(cost.dram_bytes)
         record = KernelRecord(

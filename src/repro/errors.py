@@ -67,6 +67,11 @@ class TraceError(ReproError):
     """Raised when a trace is malformed or an analysis precondition fails."""
 
 
+class TelemetryError(ReproError):
+    """Raised by the telemetry layer (bad instruments, label mismatches,
+    sink misuse).  Never raised on the disabled-sink fast path."""
+
+
 class AnalysisError(ReproError, ValueError):
     """Raised by statistical analysis routines (PLS, fitting).
 

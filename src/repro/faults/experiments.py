@@ -118,6 +118,7 @@ def run_degraded(
     ranks_per_node: int | None = None,
     retry: RetryPolicy | None = None,
     max_restarts: int = 4,
+    telemetry=None,
     **workload_kwargs,
 ) -> FaultExperimentReport:
     """Measure benchmark *name* clean and under *schedule*, with restarts.
@@ -127,6 +128,11 @@ def run_degraded(
     remapped onto the survivors.  A failed attempt that crashed no node
     (message loss exhausted the retry budget) rerolls the schedule seed —
     deterministic retry of an identical attempt would fail identically.
+
+    A *telemetry* sink observes the **first** degraded attempt — the one the
+    full schedule fires against, so crash/degradation spans land on its
+    timeline.  (A sink binds to a single simulation environment; restart
+    attempts build fresh clusters and run unobserved.)
     """
     baseline = run_workload(
         name, nodes=nodes, network=network, system=system,
@@ -155,7 +161,7 @@ def run_degraded(
     total_retries = 0
     final: ExperimentRun | None = None
 
-    for _attempt in range(max_restarts + 1):
+    for attempt_index in range(max_restarts + 1):
         workload = make_workload(name, **workload_kwargs)
         cluster = _cluster_for(system, len(original_ids), network)
         rpn = ranks_per_node or workload.default_ranks_per_node
@@ -163,6 +169,7 @@ def run_degraded(
         result = workload.run_on(
             cluster, ranks_per_node=rpn, tracer=tracer,
             faults=current_schedule, retry=retry, on_fault="tolerate",
+            telemetry=telemetry if attempt_index == 0 else None,
         )
         total_retries += result.comm_retries
         crashed_now = tuple(original_ids[i] for i in cluster.failed_node_ids)
@@ -272,6 +279,7 @@ def run_demo(
     nodes: int = 4,
     network: str = "10G",
     seed: int = 0,
+    telemetry=None,
     **workload_kwargs,
 ) -> FaultExperimentReport:
     """The ``repro faults --demo`` experiment: degraded Jacobi end-to-end."""
@@ -296,7 +304,7 @@ def run_demo(
     )
     return run_degraded(
         name, schedule, nodes=nodes, network=network, system="tx1",
-        retry=retry, **workload_kwargs,
+        retry=retry, telemetry=telemetry, **workload_kwargs,
     )
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NodeFailure
 from repro.faults.model import FaultSchedule, NodeCrash
+from repro.telemetry.sink import NULL
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cluster import Cluster
@@ -81,7 +82,7 @@ class FaultInjector:
         self.cluster.fabric.set_fault_injector(self)
         for crash in self.schedule.crashes:
             self.env.process(self._crash_process(crash))
-        if self._tracer() is not None:
+        if self._tracer() is not None or self._telemetry().enabled:
             for window in self.schedule.degradations + self.schedule.flaps:
                 self.env.process(self._window_marker(window))
 
@@ -113,6 +114,9 @@ class FaultInjector:
     def _tracer(self):
         return self._job.tracer if self._job is not None else None
 
+    def _telemetry(self):
+        return self._job.telemetry if self._job is not None else NULL
+
     def _ranks_on(self, node_id: int) -> list[tuple[int, "Process"]]:
         return self._rank_procs.get(node_id, [])
 
@@ -124,6 +128,15 @@ class FaultInjector:
             return
         node.fail()
         tracer = self._tracer()
+        telemetry = self._telemetry()
+        telemetry.instant(
+            "faults", f"crash:node{crash.node_id}", "fault",
+            node=crash.node_id,
+        )
+        telemetry.counter(
+            "faults_activated_total", "fault events fired by the injector",
+            labelnames=("type",),
+        ).inc(type="crash")
         residents = self._ranks_on(crash.node_id)
         if self._job is not None:
             for rank, _proc in residents:
@@ -141,18 +154,38 @@ class FaultInjector:
                 )
 
     def _window_marker(self, window):
-        """Trace markers bracketing a degradation/flap window (per rank)."""
+        """Trace markers bracketing a degradation/flap window (per rank).
+
+        With telemetry attached a finite window also lands as one async span
+        on the ``faults`` track (an infinite window gets an instant marker —
+        a span with no end would never be emitted).
+        """
         label = "fault:flap" if not hasattr(window, "multiplier") else "fault:nic"
+        kind = label.split(":", 1)[1]
         if window.start > 0.0:
             yield self.env.timeout(window.start)
         tracer = self._tracer()
         if tracer is not None:
             for rank, _proc in self._ranks_on(window.node_id):
                 tracer.mark(rank, f"{label}:start", self.env.now)
+        telemetry = self._telemetry()
+        telemetry.counter(
+            "faults_activated_total", "fault events fired by the injector",
+            labelnames=("type",),
+        ).inc(type=kind)
         remaining = window.end - self.env.now
         if np.isfinite(remaining) and remaining > 0.0:
-            yield self.env.timeout(remaining)
+            with telemetry.async_span(
+                "faults", f"{label}:node{window.node_id}", "fault",
+                node=window.node_id,
+            ):
+                yield self.env.timeout(remaining)
             tracer = self._tracer()
             if tracer is not None:
                 for rank, _proc in self._ranks_on(window.node_id):
                     tracer.mark(rank, f"{label}:end", self.env.now)
+        else:
+            telemetry.instant(
+                "faults", f"{label}:node{window.node_id}", "fault",
+                node=window.node_id,
+            )

@@ -14,6 +14,9 @@ Keys (all optional):
     by default.
 ``float-eq-paths``
     Path fragments where the float-equality rule (RL006) applies.
+``diagnostic-exempt``
+    Path fragments exempt from the diagnostic-channel rule (RL007): the
+    CLI layer and the linter's own reporters print by design.
 
 Python 3.10 has no ``tomllib``; a tiny fallback parser handles the subset
 of TOML this section needs (string values and string arrays) so the linter
@@ -37,6 +40,8 @@ except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 only
 DEFAULT_FLOAT_EQ_PATHS = ("sim/", "core/", "analysis/")
 #: Path fragments exempt from RL004 unless configured otherwise.
 DEFAULT_UNIT_EXEMPT = ("units.py",)
+#: Path fragments exempt from RL007 unless configured otherwise.
+DEFAULT_DIAGNOSTIC_EXEMPT = ("cli.py", "lint/")
 
 
 @dataclass(frozen=True)
@@ -48,6 +53,7 @@ class LintConfig:
     paths: tuple[str, ...] = ("src/repro",)
     unit_exempt: tuple[str, ...] = DEFAULT_UNIT_EXEMPT
     float_eq_paths: tuple[str, ...] = DEFAULT_FLOAT_EQ_PATHS
+    diagnostic_exempt: tuple[str, ...] = DEFAULT_DIAGNOSTIC_EXEMPT
     #: Directory the config file lives in; '' when defaulted.
     root: str = ""
 
@@ -129,6 +135,7 @@ def load_config(pyproject: Path | str) -> LintConfig:
         "paths": "paths",
         "unit-exempt": "unit_exempt",
         "float-eq-paths": "float_eq_paths",
+        "diagnostic-exempt": "diagnostic_exempt",
     }
     for toml_key, attr in mapping.items():
         if toml_key in table:

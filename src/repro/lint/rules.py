@@ -13,6 +13,8 @@ RL004     unit-safety      the bits/bytes and GB/GiB axes of the roofline figure
                            (conversions via ``repro.units``, not magic numbers)
 RL005     error-hierarchy  the ``ReproError`` taxonomy (callers can catch precisely)
 RL006     float-equality   threshold/convergence logic (no exact float compares)
+RL007     diagnostics      the library/CLI boundary (no ``print`` or raw stderr
+                           writes outside the CLI and the linter itself)
 ========  ===============  ==========================================================
 """
 
@@ -527,3 +529,51 @@ class FloatEqualityRule(Rule):
         ):
             return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# RL007 — diagnostic channels
+# ---------------------------------------------------------------------------
+
+#: ``sys.<stream>.write`` targets that bypass the CLI/telemetry layers.
+_RAW_STREAMS = {"sys.stderr.write", "sys.stdout.write", "stderr.write", "stdout.write"}
+
+
+@register
+class DiagnosticChannelRule(Rule):
+    """RL007: library code must not print or write raw streams.
+
+    Simulation layers report through return values, the error taxonomy, or
+    the telemetry sink; ad-hoc ``print()`` calls corrupt machine-read CLI
+    output (the report artifacts) and are invisible to exporters.  The CLI
+    layer and the linter's own reporters are exempt (``diagnostic-exempt``).
+    """
+
+    rule_id = "RL007"
+    name = "diagnostics"
+    summary = (
+        "print()/raw stream writes in library code bypass the CLI and "
+        "telemetry layers and corrupt machine-read output"
+    )
+    severity = Severity.WARNING
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterator[Finding]:
+        if ctx.in_scope(config.diagnostic_exempt):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = dotted_name(node.func)
+            if fn == "print":
+                yield self.finding(
+                    ctx, node,
+                    "print() in library code: return the value, raise a "
+                    "ReproError, or record it on the telemetry sink; only "
+                    "the CLI layer prints",
+                )
+            elif fn in _RAW_STREAMS:
+                yield self.finding(
+                    ctx, node,
+                    f"{fn}() in library code: raw stream writes bypass the "
+                    "CLI/telemetry layers; raise or record instead",
+                )

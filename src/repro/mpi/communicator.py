@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -16,7 +17,32 @@ from repro.errors import (
 )
 from repro.network.fabric import Fabric
 from repro.sim import Environment, Store
+from repro.telemetry.instruments import SIZE_BUCKETS
+from repro.telemetry.sink import NULL
 from repro.units import kib
+
+
+def _collective_span(name: str):
+    """Wrap a collective generator in a telemetry span named ``mpi.<name>``.
+
+    The wrapper is itself a generator, so the span opens when the collective
+    starts executing (not when the generator object is built) and closes —
+    error-flagged on failure — when it returns.  With the null sink attached
+    the wrapper costs one no-op context manager per call.
+    """
+
+    def decorate(method):
+        @functools.wraps(method)
+        def wrapper(self, *args, **kwargs):
+            with self.world.telemetry.async_span(
+                f"rank{self.rank}", f"mpi.{name}", "mpi"
+            ):
+                result = yield from method(self, *args, **kwargs)
+            return result
+
+        return wrapper
+
+    return decorate
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -121,6 +147,7 @@ class CommWorld:
         tracer: Any = None,
         retry: RetryPolicy | None = None,
         seed: int = 0,
+        telemetry: Any = None,
     ) -> None:
         if not rank_to_node:
             raise MPIError("world must have at least one rank")
@@ -132,10 +159,38 @@ class CommWorld:
         self.rank_to_node = list(rank_to_node)
         self.tracer = tracer
         self.retry = retry
+        self.telemetry = telemetry if telemetry is not None else NULL
         self._retry_rng = np.random.default_rng(seed)
         self._failed_ranks: set[int] = set()
         self._mailboxes = [Store(env) for _ in rank_to_node]
         self.stats = [CommStats() for _ in rank_to_node]
+        tm = self.telemetry
+        self._messages_counter = tm.counter(
+            "mpi_messages_total", "point-to-point messages delivered",
+            labelnames=("kind",),
+        )
+        self._bytes_counter = tm.counter(
+            "mpi_bytes_total", "wire bytes moved by point-to-point traffic",
+            unit="bytes", labelnames=("kind",),
+        )
+        self._retries_counter = tm.counter(
+            "mpi_retries_total", "resends after a lost payload",
+        )
+        self._latency_histogram = tm.histogram(
+            "mpi_message_latency_seconds",
+            "send-call to matched-receive latency", unit="seconds",
+        )
+        self._size_histogram = tm.histogram(
+            "mpi_message_bytes", "wire size of delivered messages",
+            unit="bytes", buckets=SIZE_BUCKETS,
+        )
+
+    def _record_delivery(self, message: Message) -> None:
+        """Latency/size accounting when a message reaches its receiver."""
+        self._messages_counter.inc(kind="recv")
+        self._bytes_counter.inc(message.nbytes, kind="recv")
+        self._latency_histogram.observe(self.env.now - message.sent_at)
+        self._size_histogram.observe(message.nbytes)
 
     @property
     def size(self) -> int:
@@ -225,36 +280,45 @@ class Communicator:
         dst_node = world.rank_to_node[dest]
         stats = world.stats[self.rank]
         attempt = 0
-        while True:
-            try:
-                yield from world.fabric.transfer(src_node, dst_node, wire_bytes)
-                break
-            except MessageLostError:
-                stats.bytes_sent += wire_bytes  # the attempt did hit the wire
-                policy = world.retry
-                if policy is None or attempt >= policy.max_retries:
-                    raise MPITimeoutError(
+        with world.telemetry.async_span(
+            f"rank{self.rank}", f"mpi.send->r{dest}", "mpi",
+            dest=dest, tag=tag, nbytes=wire_bytes,
+        ) as span:
+            while True:
+                try:
+                    yield from world.fabric.transfer(src_node, dst_node, wire_bytes)
+                    break
+                except MessageLostError:
+                    stats.bytes_sent += wire_bytes  # the attempt did hit the wire
+                    policy = world.retry
+                    if policy is None or attempt >= policy.max_retries:
+                        raise MPITimeoutError(
+                            f"send from rank {self.rank} to rank {dest} (tag {tag}) "
+                            f"lost {attempt + 1} time(s); retries exhausted"
+                        ) from None
+                    stats.retries += 1
+                    world._retries_counter.inc()
+                    delay = policy.backoff_seconds(attempt, world._retry_rng)
+                    if delay > 0.0:
+                        yield env.timeout(delay)
+                    attempt += 1
+                except NodeFailure as exc:
+                    world.mark_ranks_on_node(exc.node_id)
+                    dead = dest if world.rank_to_node[dest] == exc.node_id else self.rank
+                    raise RankFailedError(
+                        dead,
                         f"send from rank {self.rank} to rank {dest} (tag {tag}) "
-                        f"lost {attempt + 1} time(s); retries exhausted"
-                    ) from None
-                stats.retries += 1
-                delay = policy.backoff_seconds(attempt, world._retry_rng)
-                if delay > 0.0:
-                    yield env.timeout(delay)
-                attempt += 1
-            except NodeFailure as exc:
-                world.mark_ranks_on_node(exc.node_id)
-                dead = dest if world.rank_to_node[dest] == exc.node_id else self.rank
-                raise RankFailedError(
-                    dead,
-                    f"send from rank {self.rank} to rank {dest} (tag {tag}) "
-                    f"failed: {exc}",
-                ) from exc
-        message = Message(self.rank, dest, tag, data, wire_bytes, start)
-        yield world._mailboxes[dest].put(message)
+                        f"failed: {exc}",
+                    ) from exc
+            if attempt:
+                span.set(retries=attempt)
+            message = Message(self.rank, dest, tag, data, wire_bytes, start)
+            yield world._mailboxes[dest].put(message)
         stats.bytes_sent += wire_bytes
         stats.messages_sent += 1
         stats.comm_seconds += env.now - start
+        world._messages_counter.inc(kind="send")
+        world._bytes_counter.inc(wire_bytes, kind="send")
         if world.tracer is not None:
             world.tracer.record_comm(self.rank, dest, wire_bytes, start, env.now, tag)
 
@@ -284,29 +348,34 @@ class Communicator:
             )
 
         mailbox = world._mailboxes[self.rank]
-        if timeout is None:
-            message = yield mailbox.get(filter=matches)
-        else:
-            get_ev = mailbox.get(filter=matches)
-            yield env.any_of([get_ev, env.timeout(timeout)])
-            if not get_ev.triggered:
-                mailbox.cancel(get_ev)
-                if source != ANY_SOURCE and world.is_failed(source):
-                    raise RankFailedError(
-                        source,
-                        f"recv on rank {self.rank}: rank {source} died while "
-                        f"awaited (tag {tag})",
+        with world.telemetry.async_span(
+            f"rank{self.rank}", "mpi.recv", "mpi", source=source, tag=tag,
+        ) as span:
+            if timeout is None:
+                message = yield mailbox.get(filter=matches)
+            else:
+                get_ev = mailbox.get(filter=matches)
+                yield env.any_of([get_ev, env.timeout(timeout)])
+                if not get_ev.triggered:
+                    mailbox.cancel(get_ev)
+                    if source != ANY_SOURCE and world.is_failed(source):
+                        raise RankFailedError(
+                            source,
+                            f"recv on rank {self.rank}: rank {source} died while "
+                            f"awaited (tag {tag})",
+                        )
+                    raise MPITimeoutError(
+                        f"recv on rank {self.rank} from "
+                        f"{'any source' if source == ANY_SOURCE else f'rank {source}'} "
+                        f"(tag {tag}) timed out after {timeout} s"
                     )
-                raise MPITimeoutError(
-                    f"recv on rank {self.rank} from "
-                    f"{'any source' if source == ANY_SOURCE else f'rank {source}'} "
-                    f"(tag {tag}) timed out after {timeout} s"
-                )
-            message = get_ev.value
+                message = get_ev.value
+            span.set(src=message.src, nbytes=message.nbytes)
         stats = world.stats[self.rank]
         stats.bytes_received += message.nbytes
         stats.messages_received += 1
         stats.comm_seconds += env.now - start
+        world._record_delivery(message)
         if world.tracer is not None:
             world.tracer.record_recv(
                 self.rank, message.src, message.nbytes, start, env.now, message.tag
@@ -338,6 +407,7 @@ class Communicator:
 
     # -- collectives (binomial trees) ------------------------------------------
 
+    @_collective_span("barrier")
     def barrier(self, tag: int = 1_000_000):
         """Synchronize all ranks (gather-to-0 then broadcast, tiny messages)."""
         token = yield from self.reduce(0, op=lambda a, b: 0, root=0, tag=tag)
@@ -348,6 +418,7 @@ class Communicator:
     #: real MPI's large-message algorithm switch.
     BCAST_LARGE_THRESHOLD = kib(256)
 
+    @_collective_span("bcast")
     def bcast(self, data: Any, root: int = 0, tag: int = 1_100_000, nbytes: float | None = None):
         """Broadcast from *root*; every rank returns the data.
 
@@ -404,6 +475,7 @@ class Communicator:
             yield send
         return data
 
+    @_collective_span("reduce")
     def reduce(
         self,
         data: Any,
@@ -431,6 +503,7 @@ class Communicator:
             mask <<= 1
         return value
 
+    @_collective_span("allreduce")
     def allreduce(
         self,
         data: Any,
@@ -443,6 +516,7 @@ class Communicator:
         result = yield from self.bcast(reduced, root=0, tag=tag + 1, nbytes=nbytes)
         return result
 
+    @_collective_span("gather")
     def gather(self, data: Any, root: int = 0, tag: int = 1_400_000, nbytes: float | None = None):
         """Gather to *root*: returns the rank-ordered list at root, else None."""
         size, rank = self.size, self.rank
@@ -457,6 +531,7 @@ class Communicator:
         yield from self.send(data, root, tag=tag, nbytes=nbytes)
         return None
 
+    @_collective_span("allgather")
     def allgather(self, data: Any, tag: int = 1_500_000, nbytes: float | None = None):
         """Gather + broadcast; every rank returns the full list."""
         items = yield from self.gather(data, root=0, tag=tag, nbytes=nbytes)
@@ -464,6 +539,7 @@ class Communicator:
         items = yield from self.bcast(items, root=0, tag=tag + 1, nbytes=total)
         return items
 
+    @_collective_span("scatter")
     def scatter(self, items: list[Any] | None, root: int = 0, tag: int = 1_600_000,
                 nbytes: float | None = None):
         """Scatter list *items* from *root*; each rank returns its element."""
@@ -478,6 +554,7 @@ class Communicator:
         payload = yield from self.recv(source=root, tag=tag)
         return payload
 
+    @_collective_span("alltoall")
     def alltoall(self, items: list[Any], tag: int = 1_700_000, nbytes: float | None = None):
         """Pairwise-exchange all-to-all; returns the column for this rank."""
         size, rank = self.size, self.rank
@@ -493,6 +570,7 @@ class Communicator:
             yield send_proc
         return result
 
+    @_collective_span("reduce_scatter")
     def reduce_scatter(
         self,
         items: list[Any],
@@ -512,6 +590,7 @@ class Communicator:
         mine = yield from self.scatter(reduced, root=0, tag=tag + 1, nbytes=nbytes)
         return mine
 
+    @_collective_span("scan")
     def scan(
         self,
         data: Any,
@@ -549,6 +628,7 @@ class Communicator:
         stats.bytes_received += message.nbytes
         stats.messages_received += 1
         stats.comm_seconds += env.now - start
+        world._record_delivery(message)
         if world.tracer is not None:
             world.tracer.record_recv(
                 self.rank, message.src, message.nbytes, start, env.now, message.tag

@@ -14,6 +14,8 @@ from repro.errors import (
 from repro.hardware.node import Node
 from repro.network.switch import SwitchSpec
 from repro.sim import Environment
+from repro.telemetry.instruments import SIZE_BUCKETS
+from repro.telemetry.sink import NULL
 
 
 @dataclass(frozen=True)
@@ -70,6 +72,13 @@ class Fabric:
         self.dropped_transfers = 0
         self._active_flows = 0
         self._injector: LinkFaultModel | None = None
+        self._telemetry = NULL
+        self._wire_instruments()
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently holding NIC slots (the sampler reads this)."""
+        return self._active_flows
 
     def attach(self, node: Node) -> None:
         """Register *node* on the fabric."""
@@ -80,6 +89,33 @@ class Fabric:
     def set_fault_injector(self, injector: LinkFaultModel | None) -> None:
         """Attach (or detach, with ``None``) a fault injector to every link."""
         self._injector = injector
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a telemetry sink recording transfer spans and counters."""
+        self._telemetry = telemetry if telemetry is not None else NULL
+        self._wire_instruments()
+
+    def _wire_instruments(self) -> None:
+        tm = self._telemetry
+        self._bytes_counter = tm.counter(
+            "fabric_bytes_total", "payload bytes delivered end-to-end",
+            unit="bytes",
+        )
+        self._transfers_counter = tm.counter(
+            "fabric_transfers_total", "completed end-to-end transfers",
+        )
+        self._drops_counter = tm.counter(
+            "fabric_dropped_transfers_total",
+            "transfers whose payload was lost on the wire",
+        )
+        self._seconds_histogram = tm.histogram(
+            "fabric_transfer_seconds", "end-to-end transfer duration",
+            unit="seconds",
+        )
+        self._size_histogram = tm.histogram(
+            "fabric_transfer_bytes", "wire size of completed transfers",
+            unit="bytes", buckets=SIZE_BUCKETS,
+        )
 
     def _endpoint(self, node_id: int) -> Node:
         try:
@@ -133,49 +169,65 @@ class Fabric:
         if src_id == dst_id:
             # Loopback: a memory-to-memory copy, no NIC involvement.
             wire = 2.0 * nbytes / src.dram.spec.cpu_bandwidth
-            yield env.timeout(wire)
+            with self._telemetry.async_span(
+                "fabric", f"loopback n{src_id}", "fabric", nbytes=nbytes
+            ):
+                yield env.timeout(wire)
             return TransferRecord(src_id, dst_id, nbytes, start, env.now, 0.0, wire)
 
-        tx_req = src.nic_tx.request()
-        rx_req = dst.nic_rx.request()
-        granted = False
-        dropped = False
-        try:
-            yield env.all_of([tx_req, rx_req])
-            granted = True
-            queued = env.now - start
-            self._active_flows += 1
-            rate = self._flow_rate(src, dst)
-            # The loss draw happens at flow start so the RNG consumption
-            # order is deterministic regardless of completion order.
-            if self._injector is not None:
-                dropped = self._injector.message_dropped(src_id, dst_id)
-            latency = src.nic.latency_one_way + self.switch.latency
-            wire = latency + (nbytes / rate if nbytes else 0.0)
-            yield env.timeout(wire)
-        finally:
-            if granted:
-                self._active_flows -= 1
-            # release() also withdraws still-queued requests, so a process
-            # killed while waiting for the NIC does not leak a slot.
-            src.nic_tx.release(tx_req)
-            dst.nic_rx.release(rx_req)
+        with self._telemetry.async_span(
+            "fabric", f"xfer n{src_id}->n{dst_id}", "fabric", nbytes=nbytes
+        ) as span:
+            tx_req = src.nic_tx.request()
+            rx_req = dst.nic_rx.request()
+            granted = False
+            dropped = False
+            try:
+                yield env.all_of([tx_req, rx_req])
+                granted = True
+                queued = env.now - start
+                self._active_flows += 1
+                rate = self._flow_rate(src, dst)
+                span.set(queue_seconds=queued, rate=rate)
+                # The loss draw happens at flow start so the RNG consumption
+                # order is deterministic regardless of completion order.
+                if self._injector is not None:
+                    dropped = self._injector.message_dropped(src_id, dst_id)
+                latency = src.nic.latency_one_way + self.switch.latency
+                wire = latency + (nbytes / rate if nbytes else 0.0)
+                yield env.timeout(wire)
+            finally:
+                if granted:
+                    self._active_flows -= 1
+                # release() also withdraws still-queued requests, so a process
+                # killed while waiting for the NIC does not leak a slot.
+                src.nic_tx.release(tx_req)
+                dst.nic_rx.release(rx_req)
 
-        # A crash that landed mid-flight eats the payload.
-        self._check_alive(src)
-        self._check_alive(dst)
-        if dropped:
-            self.dropped_bytes += nbytes
-            self.dropped_transfers += 1
-            raise MessageLostError(
-                f"transfer of {nbytes:.0f} B from node {src_id} to node "
-                f"{dst_id} lost on the wire at t={env.now:.6f}"
-            )
+            # A crash that landed mid-flight eats the payload.
+            self._check_alive(src)
+            self._check_alive(dst)
+            if dropped:
+                self.dropped_bytes += nbytes
+                self.dropped_transfers += 1
+                self._drops_counter.inc()
+                self._telemetry.instant(
+                    "faults", f"message-loss n{src_id}->n{dst_id}", "fault",
+                    nbytes=nbytes,
+                )
+                raise MessageLostError(
+                    f"transfer of {nbytes:.0f} B from node {src_id} to node "
+                    f"{dst_id} lost on the wire at t={env.now:.6f}"
+                )
 
-        src.record_send(nbytes)
-        dst.record_receive(nbytes)
-        self.total_bytes += nbytes
-        self.total_transfers += 1
+            src.record_send(nbytes)
+            dst.record_receive(nbytes)
+            self.total_bytes += nbytes
+            self.total_transfers += 1
+            self._bytes_counter.inc(nbytes)
+            self._transfers_counter.inc()
+            self._seconds_histogram.observe(env.now - start)
+            self._size_histogram.observe(nbytes)
         return TransferRecord(src_id, dst_id, nbytes, start, env.now, queued, wire)
 
     def average_traffic_rate(self, elapsed_seconds: float) -> float:

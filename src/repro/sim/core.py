@@ -297,6 +297,31 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Process | None = None
+        # Telemetry hooks: None when disabled, so the hot loops pay a single
+        # identity check per event (see repro.telemetry).
+        self._events_counter = None
+        self._procs_counter = None
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a telemetry sink counting kernel activity.
+
+        Accepts any object with the :class:`repro.telemetry.Telemetry`
+        surface; ``None`` or a disabled sink detaches (the default state).
+        The kernel itself stays import-free of the telemetry package.
+        """
+        if telemetry is None or not getattr(telemetry, "enabled", False):
+            self._events_counter = None
+            self._procs_counter = None
+            return
+        telemetry.bind_env(self)
+        self._events_counter = telemetry.counter(
+            "sim_events_processed_total",
+            "events executed by the discrete-event kernel",
+        )
+        self._procs_counter = telemetry.counter(
+            "sim_processes_started_total",
+            "generator processes spawned on this environment",
+        )
 
     @property
     def now(self) -> float:
@@ -320,6 +345,8 @@ class Environment:
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start a new process driving *generator*."""
+        if self._procs_counter is not None:
+            self._procs_counter.inc()
         return Process(self, generator)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -347,6 +374,8 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _prio, _eid, event = heapq.heappop(self._queue)
         self._now = when
+        if self._events_counter is not None:
+            self._events_counter.inc()
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None

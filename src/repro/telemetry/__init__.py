@@ -1,0 +1,49 @@
+"""Cross-cutting instrumentation for the whole simulator stack.
+
+The observability backbone: typed instruments (counters, gauges, fixed-
+bucket histograms) in a :class:`Registry`, sim-time-stamped :class:`Span`\\ s
+around kernel dispatch / fabric transfers / MPI calls / CUDA work / fault
+activations, a clock-driven :class:`UtilizationSampler`, and two exporters
+(Chrome trace-event JSON for Perfetto, Prometheus-style text snapshots).
+
+Attach a :class:`Telemetry` sink to a :class:`~repro.cluster.job.Job` (or
+pass ``telemetry=`` to ``run_workload``) to record; the default
+:data:`NULL` sink makes every hook a provable no-op, so untelemetered runs
+are bit-for-bit identical.  See ``docs/TELEMETRY.md``.
+"""
+
+from repro.telemetry.exporters import (
+    to_chrome_trace,
+    to_prometheus_text,
+    write_chrome_trace,
+)
+from repro.telemetry.instruments import (
+    DURATION_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+from repro.telemetry.sampler import UtilizationSampler
+from repro.telemetry.sink import NULL, NullTelemetry, SamplePoint, Telemetry
+from repro.telemetry.spans import SpanHandle, SpanRecord
+
+__all__ = [
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "NULL",
+    "NullTelemetry",
+    "Registry",
+    "SIZE_BUCKETS",
+    "SamplePoint",
+    "SpanHandle",
+    "SpanRecord",
+    "Telemetry",
+    "UtilizationSampler",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "write_chrome_trace",
+]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import TraceError
+from repro.telemetry.sink import NULL
 from repro.tracing.events import (
     CommRecord,
     MarkerRecord,
@@ -18,9 +19,13 @@ class Tracer:
     The MPI layer calls :meth:`record_comm` / :meth:`record_recv`; rank
     contexts call :meth:`record_state`; workloads call :meth:`mark` at
     iteration boundaries so Paraver-style chopping can find them.
+
+    When a telemetry sink is attached with :meth:`bind_telemetry`, every
+    record is also mirrored onto the sink's per-rank tracks as spans on the
+    same simulated-time axis — one tracing system, two consumers.
     """
 
-    def __init__(self, n_ranks: int) -> None:
+    def __init__(self, n_ranks: int, telemetry=None) -> None:
         if n_ranks < 1:
             raise TraceError("tracer needs at least one rank")
         self.n_ranks = n_ranks
@@ -28,6 +33,11 @@ class Tracer:
         self._comms: list[CommRecord] = []
         self._recvs: list[RecvRecord] = []
         self._markers: list[MarkerRecord] = []
+        self._telemetry = telemetry if telemetry is not None else NULL
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Mirror all subsequent records onto *telemetry* (``None`` detaches)."""
+        self._telemetry = telemetry if telemetry is not None else NULL
 
     def record_state(self, rank: int, state: str, start: float, end: float) -> None:
         """One compute/GPU burst on *rank*."""
@@ -35,6 +45,7 @@ class Tracer:
         if end < start:
             raise TraceError(f"state ends before it starts: {start} > {end}")
         self._states.append(StateRecord(rank, state, start, end))
+        self._telemetry.record_span(f"rank{rank}", state, "rank", start, end)
 
     def record_comm(
         self, src: int, dst: int, nbytes: float, start: float, end: float, tag: int
@@ -43,6 +54,10 @@ class Tracer:
         self._check_rank(src)
         self._check_rank(dst)
         self._comms.append(CommRecord(src, dst, nbytes, start, end, tag))
+        self._telemetry.record_span(
+            f"rank{src}", f"comm->r{dst}", "rank", start, end,
+            kind="async", nbytes=nbytes, tag=tag,
+        )
 
     def record_recv(
         self, rank: int, src: int, nbytes: float, start: float, end: float, tag: int
@@ -50,11 +65,18 @@ class Tracer:
         """One completed receive on *rank* from *src*."""
         self._check_rank(rank)
         self._recvs.append(RecvRecord(rank, src, nbytes, start, end, tag))
+        self._telemetry.record_span(
+            f"rank{rank}", f"recv<-r{src}", "rank", start, end,
+            kind="async", nbytes=nbytes, tag=tag,
+        )
 
     def mark(self, rank: int, label: str, time: float) -> None:
         """A phase/iteration boundary."""
         self._check_rank(rank)
         self._markers.append(MarkerRecord(rank, label, time))
+        self._telemetry.record_span(
+            f"rank{rank}", label, "rank", time, time, kind="instant",
+        )
 
     def finalize(self, t_start: float = 0.0, t_end: float | None = None) -> Trace:
         """Freeze into a :class:`Trace`; *t_end* defaults to the last record."""

@@ -115,6 +115,11 @@ def us(n: float) -> float:
     return n * 1e-6
 
 
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds (Chrome trace-event timestamps)."""
+    return seconds * MEGA
+
+
 def to_ms(seconds: float) -> float:
     """Convert seconds to milliseconds."""
     return seconds * 1e3

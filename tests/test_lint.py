@@ -63,6 +63,12 @@ POSITIVE = {
         "def converged(residual):\n"
         "    return residual == 0.0\n",
     ),
+    "RL007": (
+        "src/repro/network/toy.py",
+        "def transfer(nbytes):\n"
+        "    print('moving', nbytes)\n"
+        "    return nbytes\n",
+    ),
 }
 
 NEGATIVE = {
@@ -103,6 +109,12 @@ NEGATIVE = {
         "import math\n\n\ndef converged(residual):\n"
         "    return math.isclose(residual, 0.0, abs_tol=1e-12)\n",
     ),
+    "RL007": (
+        "src/repro/cli.py",
+        "def _cmd_run(args):\n"
+        "    print('runtime:', 1.0)\n"
+        "    return 0\n",
+    ),
 }
 
 
@@ -128,7 +140,7 @@ def test_rule_passes_clean_code(rule_id):
     assert findings_for(rule_id, NEGATIVE) == []
 
 
-def test_registry_covers_all_six_rules():
+def test_registry_covers_every_rule():
     assert sorted(RULES) == sorted(POSITIVE) == sorted(NEGATIVE)
 
 
@@ -229,6 +241,23 @@ def test_float_equality_scoped_to_numeric_paths():
     assert [f.rule for f in lint_source(src, path="src/repro/core/m.py")] == ["RL006"]
     # Out of the configured numeric paths: no finding.
     assert lint_source(src, path="src/repro/workloads/m.py") == []
+
+
+def test_diagnostics_flags_raw_stream_writes():
+    src = (
+        "import sys\n\n\ndef warn(msg):\n"
+        "    sys.stderr.write(msg + '\\n')\n"
+    )
+    found = lint_source(src, path="src/repro/faults/injector.py")
+    assert [f.rule for f in found] == ["RL007"]
+    assert "sys.stderr.write" in found[0].message
+
+
+def test_diagnostics_exempts_cli_and_lint_reporters():
+    src = "def report(msg):\n    print(msg)\n"
+    assert lint_source(src, path="src/repro/cli.py") == []
+    assert lint_source(src, path="src/repro/lint/reporters.py") == []
+    assert [f.rule for f in lint_source(src, path="src/repro/sim/core.py")] == ["RL007"]
 
 
 # ---------------------------------------------------------------------------
@@ -355,7 +384,7 @@ def test_mini_toml_fallback_parser_matches_expectations():
 
 
 def _write_fixture_tree(root: Path) -> None:
-    """A tree violating all six rules, plus a hermetic config."""
+    """A tree violating every rule, plus a hermetic config."""
     (root / "pyproject.toml").write_text("[tool.repro.lint]\n", encoding="utf-8")
     sim = root / "sim"
     sim.mkdir()
@@ -375,6 +404,7 @@ def _write_fixture_tree(root: Path) -> None:
         "    nbytes = ctx.n * 1e9\n"                     # RL004
         "    if nbytes < 0:\n"
         "        raise ValueError('bad')\n"              # RL005
+        "    print('sending', nbytes)\n"                 # RL007
         "    yield from ctx.comm.send(None, dest=1, nbytes=nbytes)\n",  # RL003
         encoding="utf-8",
     )
