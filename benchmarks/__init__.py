@@ -1,0 +1,23 @@
+"""Tier-2 paper-reproduction benchmarks (one module per figure/table).
+
+Run them with ``python -m pytest benchmarks/ -q``; each ``bench_*`` module
+asserts one of the paper's headline claims against the simulator.
+
+The perf-regression baseline
+----------------------------
+
+The tier-1 suite guards *correctness*; the BENCH baseline guards the
+*numbers*.  The repo commits ``BENCH_seed.json`` — per-workload runtime,
+MFLOPS/W, wire bytes, the LB·Ser·Trf factors, and the binding roofline
+ceiling, measured at 4 nodes / 10 GbE by ``repro.insight.baseline``:
+
+* ``python -m repro bench`` re-measures and (over)writes the baseline.
+  Run it — and commit the diff — whenever a PR *intentionally* changes the
+  performance model, so the new numbers become the contract.
+* ``python -m repro bench --check`` re-measures and exits non-zero on any
+  metric drifting beyond ``--tolerance`` (default 1e-6).  The simulator is
+  deterministic, so the expected drift is exactly zero; the tolerance only
+  absorbs cross-platform libm noise.  CI runs this on every push, which
+  turns an accidental perf-model change into a red build instead of a
+  silent shift in every figure above.
+"""

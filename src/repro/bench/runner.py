@@ -31,6 +31,8 @@ class ExperimentRun:
     result: JobResult
     trace: Trace | None
     rank_to_node: list[int]
+    #: The telemetry sink the run recorded into, when one was passed.
+    telemetry: Any = None
 
     @property
     def runtime(self) -> float:
@@ -92,6 +94,7 @@ def run_workload(
         result=result,
         trace=tracer.finalize() if tracer else None,
         rank_to_node=[r // rpn for r in range(cluster.node_count * rpn)],
+        telemetry=telemetry,
     )
     if use_cache:
         _cache[key] = run

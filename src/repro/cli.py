@@ -11,7 +11,14 @@ Commands
 ``experiment``
     Regenerate one of the paper's tables/figures by id (fig1, table2, ...).
 ``report``
-    Run a set of experiments and write results.json + REPORT.md artifacts.
+    With a workload: run it instrumented and print the bottleneck report —
+    critical path, roofline placement, LB·Ser·Trf cross-check — as text,
+    JSON, or Markdown (see ``docs/TELEMETRY.md``).  Without a workload:
+    legacy mode, run a set of experiments and write results.json +
+    REPORT.md artifacts.
+``bench``
+    Measure the perf-regression baseline (``--baseline FILE`` writes it;
+    ``--check`` re-measures and exits non-zero on drift beyond tolerance).
 ``lint``
     Run the repro static-analysis rule pack (see ``docs/LINT.md``); exits
     nonzero when findings exist.
@@ -35,8 +42,19 @@ import argparse
 import sys
 from typing import Callable
 
+from repro.errors import ConfigurationError
 from repro.units import to_gflops
 from repro.workloads import ALL_NAMES, GPGPU_NAMES
+
+
+def _require_workload(name: str) -> str:
+    """Validate a workload name, naming the alternatives on failure."""
+    if name not in ALL_NAMES:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known workloads: "
+            f"{', '.join(sorted(ALL_NAMES))}"
+        )
+    return name
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -175,7 +193,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
     telemetry = Telemetry(sample_interval=args.sample_interval)
     run = run_workload(
-        args.workload,
+        _require_workload(args.workload),
         nodes=args.nodes,
         network=args.network,
         system=args.system,
@@ -217,11 +235,65 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.bench.report import write_report
+    if args.workload is None:
+        # Legacy mode: experiment artifacts (results.json + REPORT.md).
+        from repro.bench.report import write_report
 
-    names = tuple(args.experiments) if args.experiments else None
-    json_path, md_path = write_report(args.outdir, names=names)
-    print(f"wrote {json_path} and {md_path}")
+        names = tuple(args.experiments) if args.experiments else None
+        json_path, md_path = write_report(args.outdir, names=names)
+        print(f"wrote {json_path} and {md_path}")
+        return 0
+
+    from repro.insight import RENDERERS, build_report
+
+    report = build_report(
+        _require_workload(args.workload),
+        nodes=args.nodes,
+        network=args.network,
+        system=args.system,
+    )
+    rendered = RENDERERS[args.format](report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.insight import (
+        DEFAULT_TOLERANCE,
+        collect_baseline,
+        compare_baseline,
+        format_drift_report,
+        load_baseline,
+        write_baseline,
+    )
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    if args.check:
+        baseline = load_baseline(args.baseline)
+        config = baseline.get("config", {})
+        current = collect_baseline(
+            workloads=tuple(sorted(baseline.get("metrics", {}))),
+            nodes=int(config.get("nodes", 4)),
+            network=str(config.get("network", "10G")),
+        )
+        drifts = compare_baseline(baseline, current, tolerance=tolerance)
+        print(format_drift_report(drifts, tolerance))
+        return 1 if drifts else 0
+
+    workloads = tuple(
+        _require_workload(name) for name in args.workloads
+    ) if args.workloads else None
+    baseline = (collect_baseline(workloads=workloads, nodes=args.nodes,
+                                 network=args.network)
+                if workloads is not None
+                else collect_baseline(nodes=args.nodes, network=args.network))
+    path = write_baseline(args.baseline, baseline)
+    print(f"wrote baseline ({len(baseline['metrics'])} workloads) to {path}")
     return 0
 
 
@@ -359,10 +431,42 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("name", help="e.g. fig1, table2, fig8, microbench")
 
-    rep_p = sub.add_parser("report", help="write results.json + REPORT.md")
-    rep_p.add_argument("--outdir", default="artifacts")
+    rep_p = sub.add_parser(
+        "report",
+        help="per-workload bottleneck report (or legacy experiment artifacts)",
+    )
+    rep_p.add_argument("workload", nargs="?", default=None,
+                       help="workload to analyse; omit for the legacy "
+                            "results.json + REPORT.md artifact writer")
+    rep_p.add_argument("--nodes", type=int, default=4)
+    rep_p.add_argument("--network", choices=("1G", "10G"), default="10G")
+    rep_p.add_argument("--system", choices=("tx1", "gtx980", "thunderx"),
+                       default="tx1")
+    rep_p.add_argument("--format", choices=("text", "json", "md"),
+                       default="text", help="report rendering (default: text)")
+    rep_p.add_argument("--out", default=None, metavar="FILE",
+                       help="write the report here instead of stdout")
+    rep_p.add_argument("--outdir", default="artifacts",
+                       help="(legacy mode) artifact directory")
     rep_p.add_argument("--experiments", nargs="*", default=None,
-                       help="experiment ids (default: the quick subset)")
+                       help="(legacy mode) experiment ids "
+                            "(default: the quick subset)")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="write or check the perf-regression baseline",
+    )
+    bench_p.add_argument("--baseline", default="BENCH_seed.json",
+                         metavar="FILE",
+                         help="baseline JSON to write (or check against)")
+    bench_p.add_argument("--check", action="store_true",
+                         help="re-measure and fail on drift beyond tolerance")
+    bench_p.add_argument("--tolerance", type=float, default=None,
+                         help="relative drift tolerance for --check")
+    bench_p.add_argument("--workloads", nargs="*", default=None,
+                         help="workloads to measure (default: the stock set)")
+    bench_p.add_argument("--nodes", type=int, default=4)
+    bench_p.add_argument("--network", choices=("1G", "10G"), default="10G")
 
     faults_p = sub.add_parser(
         "faults",
@@ -385,7 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one workload with the telemetry sink and export the trace",
     )
     telemetry_p.add_argument("workload", nargs="?", default="cloverleaf",
-                             choices=sorted(ALL_NAMES))
+                             help="workload name (see `repro list`)")
     telemetry_p.add_argument("--nodes", type=int, default=4)
     telemetry_p.add_argument("--network", choices=("1G", "10G"), default="10G")
     telemetry_p.add_argument("--system", choices=("tx1", "gtx980", "thunderx"),
@@ -423,12 +527,17 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
         "faults": _cmd_faults,
         "telemetry": _cmd_telemetry,
         "trace": _cmd_trace,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ConfigurationError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

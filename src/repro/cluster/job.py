@@ -356,6 +356,9 @@ class Job:
         finally:
             if sampler is not None:
                 sampler.stop()
+                # Flush the trailing partial interval: the job almost never
+                # ends exactly on a sampling tick.
+                sampler.finish()
         elapsed = env.now - start
         if self.telemetry.enabled:
             self.telemetry.instant("job", "job:end", "job",

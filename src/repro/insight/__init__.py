@@ -1,0 +1,92 @@
+"""Trace-driven bottleneck attribution and the perf-regression baseline.
+
+``repro.insight`` consumes a run's :class:`~repro.telemetry.Telemetry` sink
+and answers the questions the paper answers by hand: where the wall time
+went (critical path over the span DAG), which roofline ceiling binds the
+run (automatic placement from measured instruments), and how the
+η = LB · Ser · Trf factors derived from spans compare with the replay
+engine's (cross-check).  On top sits the benchmark-regression baseline:
+a committed JSON of headline numbers plus a ``--check`` that fails CI on
+drift.
+"""
+
+from repro.insight.baseline import (
+    BASELINE_SCHEMA,
+    BASELINE_WORKLOADS,
+    DEFAULT_TOLERANCE,
+    Drift,
+    collect_baseline,
+    compare_baseline,
+    format_drift_report,
+    load_baseline,
+    write_baseline,
+)
+from repro.insight.critical_path import (
+    SEGMENT_KINDS,
+    CriticalPath,
+    CriticalSegment,
+    critical_path,
+    critical_path_of_streams,
+)
+from repro.insight.decompose import (
+    EfficiencyCrossCheck,
+    RankActivity,
+    SpanBreakdown,
+    cross_check,
+    decompose,
+    decompose_streams,
+)
+from repro.insight.ops import OpStreams, RankOp, extract_ops, match_messages
+from repro.insight.report import (
+    RENDERERS,
+    InsightReport,
+    build_report,
+    render_json,
+    render_markdown,
+    render_text,
+    to_dict,
+)
+from repro.insight.roofline import (
+    MeasuredIntensities,
+    RooflinePlacement,
+    intensities_from_telemetry,
+    place_run,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BASELINE_WORKLOADS",
+    "DEFAULT_TOLERANCE",
+    "RENDERERS",
+    "SEGMENT_KINDS",
+    "CriticalPath",
+    "CriticalSegment",
+    "Drift",
+    "EfficiencyCrossCheck",
+    "InsightReport",
+    "MeasuredIntensities",
+    "OpStreams",
+    "RankActivity",
+    "RankOp",
+    "RooflinePlacement",
+    "SpanBreakdown",
+    "build_report",
+    "collect_baseline",
+    "compare_baseline",
+    "critical_path",
+    "critical_path_of_streams",
+    "cross_check",
+    "decompose",
+    "decompose_streams",
+    "extract_ops",
+    "format_drift_report",
+    "intensities_from_telemetry",
+    "load_baseline",
+    "match_messages",
+    "place_run",
+    "render_json",
+    "render_markdown",
+    "render_text",
+    "to_dict",
+    "write_baseline",
+]

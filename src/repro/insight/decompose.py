@@ -1,0 +1,164 @@
+"""Trace-derived busy/communication/idle decomposition and the LB cross-check.
+
+The paper's Figs. 5-6 explain strong-scaling loss through the
+η = LB · Ser · Trf factors, which :mod:`repro.scalability` computes from a
+Paraver-style trace plus its ideal-network replay.  The telemetry sink
+carries the same information in span form, so this module derives the
+per-rank busy / communication / idle split *directly from spans* and
+cross-checks the overlapping factor (load balance, and η itself via
+η = mean(busy)/T) against the replay numbers — two independent code paths
+over two recordings of the same run must agree, which the test suite
+enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.insight.ops import OpStreams, extract_ops
+from repro.scalability import EfficiencyBreakdown, parallel_efficiency
+from repro.telemetry.sink import Telemetry
+from repro.tracing.events import Trace
+
+
+@dataclass(frozen=True)
+class RankActivity:
+    """One rank's time split over the run."""
+
+    rank: int
+    busy_seconds: float  # compute + gpu + copy
+    comm_seconds: float  # union of MPI send/recv intervals
+    idle_seconds: float  # everything else
+
+    def fractions(self, duration: float) -> tuple[float, float, float]:
+        """(busy, comm, idle) as shares of *duration*."""
+        if duration <= 0:
+            raise AnalysisError("duration must be positive")
+        return (
+            self.busy_seconds / duration,
+            self.comm_seconds / duration,
+            self.idle_seconds / duration,
+        )
+
+
+@dataclass(frozen=True)
+class SpanBreakdown:
+    """The whole run's span-derived activity split."""
+
+    per_rank: tuple[RankActivity, ...]
+    duration: float
+
+    @property
+    def n_ranks(self) -> int:
+        """World size."""
+        return len(self.per_rank)
+
+    @property
+    def load_balance(self) -> float:
+        """LB = mean(busy) / max(busy), the paper's Eq. 4 factor."""
+        busy = [r.busy_seconds for r in self.per_rank]
+        top = max(busy)
+        return (sum(busy) / len(busy)) / top if top > 0 else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """η = mean(busy) / T — the product LB · Ser · Trf, span-derived."""
+        if self.duration <= 0:
+            return 0.0
+        busy = [r.busy_seconds for r in self.per_rank]
+        return (sum(busy) / len(busy)) / self.duration
+
+    @property
+    def mean_comm_fraction(self) -> float:
+        """Average share of the run each rank spent inside MPI calls."""
+        if self.duration <= 0:
+            return 0.0
+        comm = [r.comm_seconds for r in self.per_rank]
+        return (sum(comm) / len(comm)) / self.duration
+
+
+def decompose(telemetry: Telemetry) -> SpanBreakdown:
+    """Per-rank busy/comm/idle split from a recorded sink."""
+    return decompose_streams(extract_ops(telemetry))
+
+
+def decompose_streams(streams: OpStreams) -> SpanBreakdown:
+    """The split itself (exposed for synthetic-stream tests)."""
+    duration = streams.duration
+    if duration <= 0:
+        raise AnalysisError("op streams carry no time")
+    activities = []
+    for rank in range(streams.n_ranks):
+        ops = streams.rank_ops(rank)
+        busy = sum(op.seconds for op in ops if op.kind in ("compute", "gpu", "copy"))
+        comm = _union_seconds(
+            [(op.start, op.end) for op in ops if op.kind in ("send", "recv")]
+        )
+        idle = max(0.0, duration - busy - comm)
+        activities.append(RankActivity(rank, busy, comm, idle))
+    return SpanBreakdown(per_rank=tuple(activities), duration=duration)
+
+
+def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of intervals (sends overlap recvs)."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    return total + (current_end - current_start)
+
+
+@dataclass(frozen=True)
+class EfficiencyCrossCheck:
+    """Span-derived factors against the replay-derived Eq. 4 factors."""
+
+    span: SpanBreakdown
+    replay: EfficiencyBreakdown
+
+    @property
+    def lb_delta(self) -> float:
+        """|LB(spans) - LB(replay)|; ~0 on a healthy pipeline."""
+        return abs(self.span.load_balance - self.replay.load_balance)
+
+    @property
+    def eta_delta(self) -> float:
+        """|η(spans) - LB·Ser·Trf(replay)|.
+
+        The replay clamps Ser and Trf at 1.0, and the two recorders may
+        close their timelines at slightly different instants, so a small
+        delta is expected; a large one means the span and trace pipelines
+        disagree about the same run.
+        """
+        return abs(self.span.efficiency - self.replay.efficiency)
+
+    def consistent(self, tolerance: float = 0.02) -> bool:
+        """Whether both factors agree within *tolerance*."""
+        return self.lb_delta <= tolerance and self.eta_delta <= tolerance
+
+
+def cross_check(
+    telemetry: Telemetry,
+    trace: Trace,
+    rank_to_node: list[int] | None = None,
+) -> EfficiencyCrossCheck:
+    """Cross-check the span decomposition against the replay decomposition.
+
+    *telemetry* and *trace* must record the same run (the usual way to get
+    both is ``run_workload(..., traced=True, telemetry=sink)``).
+    """
+    span = decompose(telemetry)
+    if span.n_ranks != trace.n_ranks:
+        raise AnalysisError(
+            f"rank-count mismatch: spans saw {span.n_ranks} ranks, the "
+            f"trace {trace.n_ranks} — these are not the same run"
+        )
+    replay = parallel_efficiency(trace, rank_to_node=rank_to_node)
+    return EfficiencyCrossCheck(span=span, replay=replay)

@@ -47,7 +47,10 @@ class UtilizationSampler:
         self.interval = float(interval)
         self.samples_taken = 0
         self._stopped = False
+        self._finished = False
         self._process: "Process | None" = None
+        #: Simulated time of the last emitted sample (interval start).
+        self._last_sample_time = float(cluster.env.now)
         # Cumulative accounting at the previous tick, keyed by node id.
         self._prev_nic: dict[int, float] = {}
         self._prev_cpu: dict[int, float] = {}
@@ -82,12 +85,28 @@ class UtilizationSampler:
         """Start the sampling process (idempotent)."""
         if self._process is None:
             self._stopped = False
+            self._finished = False
+            self._last_sample_time = float(self.cluster.env.now)
             self._process = self.cluster.env.process(self._run())
         return self._process
 
     def stop(self) -> None:
         """Ask the sampler to exit at its next wake-up."""
         self._stopped = True
+
+    def finish(self) -> None:
+        """Emit one final sample covering the trailing partial interval.
+
+        A job rarely ends exactly on a tick; without this, the work done
+        between the last tick and job completion would never be sampled.
+        Idempotent: the second call finds zero elapsed time and does nothing.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        elapsed = float(self.cluster.env.now) - self._last_sample_time
+        if elapsed > 0:
+            self._take_sample(elapsed)
 
     # -- the process -----------------------------------------------------------
 
@@ -97,17 +116,17 @@ class UtilizationSampler:
             yield env.timeout(self.interval)
             if self._stopped:
                 return
-            self._take_sample()
+            self._take_sample(self.interval)
             # An empty queue after sampling means no process can ever run
             # again (untriggered events are not queued): stop rather than
             # keep the simulation alive forever.
             if math.isinf(env.peek()):
                 return
 
-    def _take_sample(self) -> None:
+    def _take_sample(self, interval: float) -> None:
         tm = self.telemetry
-        interval = self.interval
         self.samples_taken += 1
+        self._last_sample_time = float(self.cluster.env.now)
         for node in self.cluster.nodes:
             track = f"node{node.node_id}"
             label = str(node.node_id)

@@ -8,7 +8,15 @@ replay (`repro.replay`).
 
 from repro.tracing.events import CommRecord, MarkerRecord, RecvRecord, StateRecord, Trace
 from repro.tracing.tracer import Tracer
-from repro.tracing.paraver import chop_iterations, chop_window
+from repro.tracing.paraver import (
+    ParsedPrv,
+    chop_iterations,
+    chop_window,
+    parse_prv_text,
+    to_pcf_text,
+    to_prv_text,
+    write_prv,
+)
 from repro.tracing.timeline import render_timeline, utilization_summary
 
 __all__ = [
@@ -18,8 +26,13 @@ __all__ = [
     "StateRecord",
     "Trace",
     "Tracer",
+    "ParsedPrv",
     "chop_iterations",
     "chop_window",
+    "parse_prv_text",
+    "to_pcf_text",
+    "to_prv_text",
+    "write_prv",
     "render_timeline",
     "utilization_summary",
 ]

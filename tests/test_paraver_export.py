@@ -1,0 +1,107 @@
+"""The Paraver .prv text exporter: round-trip, ordering, byte-stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.errors import TraceError
+from repro.tracing import (
+    chop_iterations,
+    parse_prv_text,
+    to_pcf_text,
+    to_prv_text,
+    write_prv,
+)
+from repro.tracing.paraver import MARKER_EVENT_TYPE, STATE_VALUES
+
+
+@pytest.fixture(scope="module")
+def jacobi_trace():
+    return run_workload("jacobi", nodes=4, traced=True, use_cache=False).trace
+
+
+@pytest.fixture(scope="module")
+def jacobi_prv(jacobi_trace):
+    return to_prv_text(jacobi_trace)
+
+
+def test_prv_round_trip_preserves_record_counts(jacobi_trace, jacobi_prv):
+    parsed = parse_prv_text(jacobi_prv)
+    assert parsed.n_ranks == jacobi_trace.n_ranks
+    assert len(parsed.states) == len(jacobi_trace.states)
+    assert len(parsed.events) == len(jacobi_trace.markers)
+    assert len(parsed.comms) == len(jacobi_trace.comms)
+
+
+def test_prv_header_carries_duration(jacobi_trace, jacobi_prv):
+    parsed = parse_prv_text(jacobi_prv)
+    assert parsed.duration_ns == round(jacobi_trace.t_end * 1e9)
+    assert parsed.header.startswith("#Paraver (00/00/00 at 00:00):")
+
+
+def test_prv_records_are_time_ordered(jacobi_prv):
+    parsed = parse_prv_text(jacobi_prv)
+    state_starts = [record[4] for record in parsed.states]
+    assert state_starts == sorted(state_starts)
+    comm_starts = [record[4] for record in parsed.comms]
+    assert comm_starts == sorted(comm_starts)
+
+
+def test_prv_states_use_fixed_value_table(jacobi_prv):
+    parsed = parse_prv_text(jacobi_prv)
+    values = {record[6] for record in parsed.states}
+    assert values <= set(STATE_VALUES.values())
+    assert STATE_VALUES["compute"] in values
+
+
+def test_prv_comms_carry_bytes_and_tag(jacobi_trace, jacobi_prv):
+    parsed = parse_prv_text(jacobi_prv)
+    total = sum(record[12] for record in parsed.comms)
+    assert total == pytest.approx(jacobi_trace.total_network_bytes(), rel=1e-9)
+    assert all(record[11] >= record[4] for record in parsed.comms), \
+        "a receive cannot complete before its send starts"
+
+
+def test_prv_events_mark_iterations(jacobi_trace, jacobi_prv):
+    parsed = parse_prv_text(jacobi_prv)
+    assert all(record[5] == MARKER_EVENT_TYPE for record in parsed.events)
+    assert len(parsed.events) == len(jacobi_trace.markers)
+
+
+def test_prv_is_byte_stable_across_reruns(jacobi_prv):
+    rerun = run_workload("jacobi", nodes=4, traced=True, use_cache=False).trace
+    assert to_prv_text(rerun) == jacobi_prv
+
+
+def test_prv_chopped_window_exports(jacobi_trace):
+    windows = chop_iterations(jacobi_trace)
+    assert len(windows) > 1
+    parsed = parse_prv_text(to_prv_text(windows[0]))
+    assert parsed.n_ranks == jacobi_trace.n_ranks
+    assert parsed.states
+
+
+def test_write_prv_writes_prv_and_pcf(tmp_path, jacobi_trace, jacobi_prv):
+    prv, pcf = write_prv(jacobi_trace, tmp_path / "run.prv")
+    assert prv.read_text(encoding="utf-8") == jacobi_prv
+    assert pcf.name == "run.pcf"
+    assert "STATES" in pcf.read_text(encoding="utf-8")
+
+
+def test_pcf_names_every_state_value():
+    pcf = to_pcf_text()
+    for name in STATE_VALUES:
+        assert name.upper() in pcf
+
+
+def test_parse_rejects_non_prv_text():
+    with pytest.raises(TraceError):
+        parse_prv_text("not a trace\n")
+    with pytest.raises(TraceError):
+        parse_prv_text("#Paraver (00/00/00 at 00:00):oops\n")
+
+
+def test_parse_rejects_malformed_record(jacobi_prv):
+    with pytest.raises(TraceError, match="line"):
+        parse_prv_text(jacobi_prv + "7:bogus:record\n")

@@ -412,6 +412,72 @@ class TestSampler:
         assert sampler.samples_taken >= 1
         assert all(point.value == 0.0 for point in telemetry.samples)
 
+    def test_finish_emits_trailing_partial_interval(self):
+        # A job ending between ticks must still see its final work sampled.
+        cluster = _idle_cluster()
+        telemetry = Telemetry(sample_interval=1.0)
+        sampler = UtilizationSampler(telemetry, cluster)
+        sampler.start()
+
+        def ticker(env):
+            yield env.timeout(1.3)
+
+        proc = cluster.env.process(ticker(cluster.env))
+        cluster.env.run(until=proc)  # stops mid-interval, like a job does
+        ticks = sampler.samples_taken
+        sampler.stop()
+        sampler.finish()
+        assert sampler.samples_taken == ticks + 1
+        assert max(point.time for point in telemetry.samples) == pytest.approx(1.3)
+
+    def test_finish_is_idempotent(self):
+        cluster = _idle_cluster()
+        telemetry = Telemetry(sample_interval=1.0)
+        sampler = UtilizationSampler(telemetry, cluster)
+        sampler.start()
+
+        def ticker(env):
+            yield env.timeout(0.4)
+
+        proc = cluster.env.process(ticker(cluster.env))
+        cluster.env.run(until=proc)
+        sampler.stop()
+        sampler.finish()
+        taken = sampler.samples_taken
+        sampler.finish()
+        assert sampler.samples_taken == taken
+
+    def test_finish_on_tick_boundary_adds_nothing(self):
+        cluster = _idle_cluster()
+        telemetry = Telemetry(sample_interval=0.5)
+        sampler = UtilizationSampler(telemetry, cluster)
+        sampler.start()
+
+        def ticker(env):
+            yield env.timeout(1.0)
+
+        cluster.env.process(ticker(cluster.env))
+        # Free-run: the sampler self-terminates right after its t=1.0 tick,
+        # so the clock sits exactly on the last sample.
+        cluster.env.run()
+        ticks = sampler.samples_taken
+        sampler.stop()
+        sampler.finish()  # now == last tick time: zero-length interval
+        assert sampler.samples_taken == ticks
+
+    def test_job_run_samples_through_its_end(self):
+        # End-to-end: the last sample of an instrumented run lands exactly
+        # at job completion, not at the last whole tick before it.
+        from repro.bench.runner import run_workload
+
+        telemetry = Telemetry(sample_interval=0.5)
+        run = run_workload("jacobi", nodes=2, use_cache=False,
+                           telemetry=telemetry)
+        last = max(point.time for point in telemetry.samples)
+        assert last == pytest.approx(run.result.elapsed_seconds)
+        assert last != pytest.approx(
+            0.5 * int(run.result.elapsed_seconds / 0.5))
+
 
 # ---------------------------------------------------------------------------
 # The Tracer bridge (one tracing system, two consumers)
