@@ -20,4 +20,10 @@ ceiling, measured at 4 nodes / 10 GbE by ``repro.insight.baseline``:
   absorbs cross-platform libm noise.  CI runs this on every push, which
   turns an accidental perf-model change into a red build instead of a
   silent shift in every figure above.
+* Both modes **warm-start** from the persistent campaign result store
+  (``.repro-cache/``, see ``docs/CAMPAIGN.md``): the derived per-workload
+  baseline rows are cached under their RunSpec digests, so a repeated
+  ``repro bench --check`` with unchanged sources reads rows back instead
+  of re-simulating.  Any edit under ``src/repro`` moves the source
+  fingerprint and invalidates every cached row.
 """

@@ -1,21 +1,35 @@
-"""Shared measurement machinery for the experiments."""
+"""Shared measurement machinery for the experiments.
+
+``run_workload`` is the single funnel every figure, bench, and fault
+experiment measures through.  Requests are normalized to a
+:class:`~repro.campaign.spec.RunSpec` (defaults resolved, ignored
+dimensions canonicalized — see ``docs/CAMPAIGN.md``) and served from a
+two-tier cache:
+
+* an in-process memo of live :class:`ExperimentRun` objects, and
+* the persistent :class:`~repro.campaign.store.ResultStore` under
+  ``.repro-cache/``, invalidated by the package source fingerprint, so a
+  second invocation (or a campaign worker) warm-starts instead of
+  re-simulating.
+
+Cache hits return a **defensive snapshot**: a fresh cluster shell rebuilt
+from the spec plus copied result/trace payloads, so no two callers share
+mutable state (the workload object is shared and must be treated as
+read-only).  The simulator is deterministic and floats survive the JSON
+round trip exactly, so a warm-started run is bit-identical to a cold one.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
-from repro.cluster import Cluster, Job
-from repro.errors import ConfigurationError
-from repro.cluster.cluster import (
-    ClusterSpec,
-    gtx980_cluster_spec,
-    thunderx_cluster_spec,
-    tx1_cluster_spec,
-)
+from repro.campaign.spec import RunSpec, build_cluster, build_workload
+from repro.campaign.store import default_store
+from repro.cluster import Cluster
 from repro.cluster.job import JobResult
+from repro.cuda.events import Profiler
 from repro.tracing import Trace, Tracer
-from repro.workloads import make_workload
 from repro.workloads.base import Workload
 
 #: The paper's cluster sizes (Figs. 1-2, 5-7, 9-10).
@@ -40,12 +54,149 @@ class ExperimentRun:
         return self.result.elapsed_seconds
 
 
-_cache: dict[tuple, ExperimentRun] = {}
+_cache: dict[tuple, tuple[RunSpec, ExperimentRun]] = {}
+_stats = {"memory_hits": 0, "memory_misses": 0, "disk_hits": 0, "disk_misses": 0}
 
 
 def clear_cache() -> None:
-    """Drop memoized runs (each run is deterministic, so caching is safe)."""
+    """Drop memoized runs and reset the in-process cache statistics.
+
+    (Each run is deterministic, so caching is safe; the persistent store
+    is managed separately — see :mod:`repro.campaign.store`.)
+    """
     _cache.clear()
+    for key in _stats:
+        _stats[key] = 0
+
+
+def cache_stats() -> dict[str, int]:
+    """A copy of the in-process cache counters (memory and disk tiers)."""
+    return dict(_stats)
+
+
+def _copy_result(result: JobResult) -> JobResult:
+    """A structurally independent copy of a job result.
+
+    Record objects (kernel/copy/trace entries) are frozen dataclasses and
+    safe to share; every mutable container and accumulator is duplicated.
+    """
+    return JobResult(
+        elapsed_seconds=result.elapsed_seconds,
+        energy=replace(result.energy),
+        rank_values=list(result.rank_values),
+        counters=[replace(c) for c in result.counters],
+        comm_seconds=list(result.comm_seconds),
+        network_bytes=result.network_bytes,
+        gpu_dram_bytes=result.gpu_dram_bytes,
+        gpu_flops=result.gpu_flops,
+        cpu_flops=result.cpu_flops,
+        gpu_profilers=[
+            Profiler(kernels=list(p.kernels), copies=list(p.copies))
+            for p in result.gpu_profilers
+        ],
+        failures=dict(result.failures),
+        comm_retries=result.comm_retries,
+    )
+
+
+def _copy_trace(trace: Trace | None) -> Trace | None:
+    if trace is None:
+        return None
+    return Trace(
+        n_ranks=trace.n_ranks,
+        states=list(trace.states),
+        comms=list(trace.comms),
+        recvs=list(trace.recvs),
+        markers=list(trace.markers),
+        t_start=trace.t_start,
+        t_end=trace.t_end,
+    )
+
+
+def _snapshot(spec: RunSpec, run: ExperimentRun) -> ExperimentRun:
+    """A defensively copied view of a cached run.
+
+    The cluster is rebuilt fresh from the spec (consumers read only its
+    ``spec``/``node_count``/hardware description; per-run state such as
+    wire totals lives in the result), so a caller crashing nodes or
+    appending trace records cannot corrupt other cache consumers.
+    """
+    return ExperimentRun(
+        workload=run.workload,
+        cluster=build_cluster(spec),
+        result=_copy_result(run.result),
+        trace=_copy_trace(run.trace),
+        rank_to_node=list(run.rank_to_node),
+        telemetry=None,
+    )
+
+
+def _simulate(spec: RunSpec, workload: Workload, telemetry: Any) -> ExperimentRun:
+    """One cold measurement of *spec* (no caches involved)."""
+    cluster = build_cluster(spec)
+    rpn = spec.ranks_per_node
+    tracer = Tracer(cluster.node_count * rpn) if spec.traced else None
+    result = workload.run_on(
+        cluster, ranks_per_node=rpn, tracer=tracer, telemetry=telemetry
+    )
+    return ExperimentRun(
+        workload=workload,
+        cluster=cluster,
+        result=result,
+        trace=tracer.finalize() if tracer else None,
+        rank_to_node=[r // rpn for r in range(cluster.node_count * rpn)],
+        telemetry=telemetry,
+    )
+
+
+def _run_cached(spec: RunSpec, workload: Workload) -> ExperimentRun:
+    """Serve *spec* through both cache tiers, simulating on a full miss."""
+    from repro.campaign.serialize import (
+        UncacheableRunError,
+        run_from_payload,
+        run_to_payload,
+    )
+
+    cached = _cache.get(spec.key)
+    if cached is not None:
+        _stats["memory_hits"] += 1
+        return _snapshot(spec, cached[1])
+    _stats["memory_misses"] += 1
+    store = default_store()
+    if store is not None and spec.revivable:
+        payload = store.get("run", spec.digest, spec.fingerprint)
+        if payload is not None:
+            _stats["disk_hits"] += 1
+            run = run_from_payload(spec, payload)
+            _cache[spec.key] = (spec, run)
+            return _snapshot(spec, run)
+        _stats["disk_misses"] += 1
+    run = _simulate(spec, workload, None)
+    _cache[spec.key] = (spec, run)
+    if store is not None and spec.revivable:
+        try:
+            store.put("run", spec.digest, spec.fingerprint, run_to_payload(run))
+        except UncacheableRunError:
+            pass  # ad-hoc rank return values: memory tier only
+    return _snapshot(spec, run)
+
+
+def run_spec(
+    spec: RunSpec,
+    use_cache: bool = True,
+    telemetry: Any = None,
+) -> ExperimentRun:
+    """Run a normalized :class:`RunSpec` (the campaign workers' entry point).
+
+    The workload is rebuilt from the spec's canonical kwargs, so the spec
+    must be revivable (specs normalized from plain values always are).
+    """
+    workload = build_workload(spec.name, spec.constructor_kwargs())
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        return _simulate(spec, workload, telemetry)
+    if not use_cache:
+        return _simulate(spec, workload, None)
+    return _run_cached(spec, workload)
 
 
 def run_workload(
@@ -67,45 +218,21 @@ def run_workload(
 
     Passing a :class:`~repro.telemetry.Telemetry` sink records the run; a
     sink is stateful (it accumulates one timeline), so such runs always
-    bypass the memoization cache.
+    bypass both cache tiers.  ``use_cache=False`` also bypasses both tiers
+    and returns a run this caller exclusively owns.
     """
-    key = (
-        name, nodes, network, system, ranks_per_node, traced,
-        tuple(sorted(workload_kwargs.items())),
+    spec = RunSpec.normalize(
+        name,
+        nodes=nodes,
+        network=network,
+        system=system,
+        ranks_per_node=ranks_per_node,
+        traced=traced,
+        **workload_kwargs,
     )
+    workload = build_workload(name, workload_kwargs)
     if telemetry is not None and getattr(telemetry, "enabled", False):
-        use_cache = False
-    if use_cache and key in _cache:
-        return _cache[key]
-
-    workload = make_workload(name, **workload_kwargs)
-    spec = _cluster_spec(system, nodes, network)
-    cluster = Cluster(spec)
-    rpn = ranks_per_node
-    if rpn is None:
-        rpn = 64 if system == "thunderx" else workload.default_ranks_per_node
-    tracer = Tracer(cluster.node_count * rpn) if traced else None
-    result = workload.run_on(
-        cluster, ranks_per_node=rpn, tracer=tracer, telemetry=telemetry
-    )
-    run = ExperimentRun(
-        workload=workload,
-        cluster=cluster,
-        result=result,
-        trace=tracer.finalize() if tracer else None,
-        rank_to_node=[r // rpn for r in range(cluster.node_count * rpn)],
-        telemetry=telemetry,
-    )
-    if use_cache:
-        _cache[key] = run
-    return run
-
-
-def _cluster_spec(system: str, nodes: int, network: str) -> ClusterSpec:
-    if system == "tx1":
-        return tx1_cluster_spec(nodes, network)
-    if system == "gtx980":
-        return gtx980_cluster_spec(nodes)
-    if system == "thunderx":
-        return thunderx_cluster_spec()
-    raise ConfigurationError(f"unknown system {system!r}")
+        return _simulate(spec, workload, telemetry)
+    if not use_cache:
+        return _simulate(spec, workload, None)
+    return _run_cached(spec, workload)

@@ -1,0 +1,53 @@
+"""Sweep campaigns with a persistent, config-addressed result cache.
+
+The layer between one measurement and the paper's figures:
+
+* :class:`~repro.campaign.spec.RunSpec` — the canonical, normalized,
+  hashable identity of one run (resolved workload kwargs, canonicalized
+  cluster shape, source fingerprint);
+* :class:`~repro.campaign.store.ResultStore` — the on-disk JSON store
+  under ``.repro-cache/``, fingerprint-invalidated;
+* :func:`~repro.campaign.runner.run_campaign` — shard a grid of specs
+  across worker processes and merge deterministically;
+* ``python -m repro sweep`` — the CLI over all of it.
+
+See ``docs/CAMPAIGN.md``.
+"""
+
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRow,
+    build_campaign,
+    format_campaign_stats,
+    format_campaign_table,
+    load_campaign_file,
+    run_campaign,
+)
+from repro.campaign.serialize import (
+    UncacheableRunError,
+    run_from_payload,
+    run_to_payload,
+    summarize_payload,
+)
+from repro.campaign.spec import RunSpec, build_cluster, code_fingerprint
+from repro.campaign.store import ResultStore, default_store, reset_default_store
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRow",
+    "ResultStore",
+    "RunSpec",
+    "UncacheableRunError",
+    "build_campaign",
+    "build_cluster",
+    "code_fingerprint",
+    "default_store",
+    "format_campaign_stats",
+    "format_campaign_table",
+    "load_campaign_file",
+    "reset_default_store",
+    "run_campaign",
+    "run_from_payload",
+    "run_to_payload",
+    "summarize_payload",
+]

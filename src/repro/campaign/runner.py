@@ -1,0 +1,343 @@
+"""Campaign execution: shard a grid of RunSpecs across worker processes.
+
+A *campaign* is an ordered, deduplicated list of
+:class:`~repro.campaign.spec.RunSpec`; :func:`run_campaign` executes it —
+warm specs straight from the persistent store, cold specs fanned out over
+a ``ProcessPoolExecutor`` (or run serially with ``jobs=1``) — and merges
+results **by spec identity, never by completion order**, so the summary
+table is byte-identical whatever the worker interleaving.
+
+Campaign-level telemetry (cache hits/misses, runs executed, worker
+utilization) is recorded on a standard
+:class:`~repro.telemetry.instruments.Registry` so the counters export
+through the existing Prometheus-style writer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.campaign.serialize import (
+    UncacheableRunError,
+    run_to_payload,
+    summarize_payload,
+    summarize_run,
+)
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import ResultStore, default_store
+from repro.errors import ConfigurationError
+from repro.telemetry.instruments import Registry
+
+#: Sentinel: "use the process default store" (None means "no store").
+_DEFAULT_STORE = object()
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """One merged campaign result: spec identity plus summary metrics."""
+
+    workload: str
+    system: str
+    nodes: int
+    network: str
+    ranks_per_node: int
+    runtime_seconds: float
+    gflops: float
+    mflops_per_watt: float
+    energy_joules: float
+    network_bytes: float
+    completed: bool
+    #: True when this row came from the persistent store (no simulation).
+    cached: bool
+
+
+@dataclass
+class CampaignResult:
+    """Everything :func:`run_campaign` measured, deterministically ordered."""
+
+    rows: list[CampaignRow]
+    cache_hits: int
+    cache_misses: int
+    jobs: int
+    workers_used: int
+    registry: Registry
+
+    @property
+    def runs(self) -> int:
+        """Number of distinct specs in the campaign."""
+        return len(self.rows)
+
+
+def build_campaign(
+    workloads: Sequence[str],
+    nodes: Sequence[int] = (4,),
+    networks: Sequence[str] = ("10G",),
+    system: str = "tx1",
+    ranks_per_node: int | None = None,
+    workload_kwargs: dict[str, dict[str, Any]] | None = None,
+) -> list[RunSpec]:
+    """The workload x nodes x network grid as normalized, deduped specs.
+
+    Canonicalization can fold grid points together (every ``thunderx``
+    point collapses onto one server, for instance); duplicates are dropped
+    keeping first occurrence, so each simulation runs once.
+    """
+    if not workloads:
+        raise ConfigurationError("a campaign needs at least one workload")
+    kwargs_map = workload_kwargs or {}
+    unknown = sorted(set(kwargs_map) - set(workloads))
+    if unknown:
+        raise ConfigurationError(
+            f"workload_kwargs for {', '.join(unknown)} do not match any "
+            f"campaign workload"
+        )
+    specs: list[RunSpec] = []
+    seen: set[tuple] = set()
+    for name in workloads:
+        for node_count in nodes:
+            for network in networks:
+                spec = RunSpec.normalize(
+                    name,
+                    nodes=node_count,
+                    network=network,
+                    system=system,
+                    ranks_per_node=ranks_per_node,
+                    **kwargs_map.get(name, {}),
+                )
+                if spec.key not in seen:
+                    seen.add(spec.key)
+                    specs.append(spec)
+    return specs
+
+
+def load_campaign_file(path: str | Path) -> list[RunSpec]:
+    """Parse a JSON campaign file into specs.
+
+    Schema (all keys except ``workloads`` optional)::
+
+        {
+          "workloads": ["jacobi", "cg"],
+          "nodes": [2, 4],
+          "networks": ["1G", "10G"],
+          "system": "tx1",
+          "ranks_per_node": null,
+          "workload_kwargs": {"jacobi": {"n": 1024, "iterations": 8}}
+        }
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"campaign file {path} does not exist")
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"campaign file {path} is not valid JSON: {exc}")
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"campaign file {path} must hold a JSON object")
+    known = {
+        "workloads", "nodes", "networks", "system", "ranks_per_node",
+        "workload_kwargs",
+    }
+    unknown = sorted(set(document) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"campaign file {path}: unknown key(s) {', '.join(unknown)}; "
+            f"known keys: {', '.join(sorted(known))}"
+        )
+    workloads = document.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise ConfigurationError(
+            f"campaign file {path} needs a non-empty 'workloads' list"
+        )
+    return build_campaign(
+        workloads,
+        nodes=document.get("nodes", [4]),
+        networks=document.get("networks", ["10G"]),
+        system=document.get("system", "tx1"),
+        ranks_per_node=document.get("ranks_per_node"),
+        workload_kwargs=document.get("workload_kwargs"),
+    )
+
+
+def _execute_spec(spec: RunSpec, store: ResultStore | None) -> dict[str, Any]:
+    """Simulate one cold spec, publish it, and return its summary row."""
+    from repro.bench.runner import run_spec
+
+    run = run_spec(spec, use_cache=False)
+    try:
+        payload = run_to_payload(run)
+    except UncacheableRunError:
+        return summarize_run(run)
+    if store is not None:
+        store.put("run", spec.digest, spec.fingerprint, payload)
+    return summarize_payload(payload)
+
+
+def _campaign_worker(task: dict[str, Any]) -> dict[str, Any]:
+    """Pool entry point: run (or warm-load) one spec in a worker process."""
+    spec = RunSpec.from_dict(task["spec"])
+    root = task["root"]
+    store = ResultStore(root) if root is not None else None
+    cached = False
+    if store is not None:
+        payload = store.get("run", spec.digest, spec.fingerprint)
+        if payload is not None:
+            cached = True
+            row = summarize_payload(payload)
+    if not cached:
+        row = _execute_spec(spec, store)
+    return {
+        "digest": spec.digest,
+        "row": row,
+        "cached": cached,
+        "pid": os.getpid(),
+    }
+
+
+def _merge_row(spec: RunSpec, summary: dict[str, Any], cached: bool) -> CampaignRow:
+    return CampaignRow(
+        workload=spec.name,
+        system=spec.system,
+        nodes=spec.nodes,
+        network=spec.network,
+        ranks_per_node=spec.ranks_per_node,
+        runtime_seconds=summary["runtime_seconds"],
+        gflops=summary["gflops"],
+        mflops_per_watt=summary["mflops_per_watt"],
+        energy_joules=summary["energy_joules"],
+        network_bytes=summary["network_bytes"],
+        completed=summary["completed"],
+        cached=cached,
+    )
+
+
+def run_campaign(
+    specs: Iterable[RunSpec],
+    jobs: int = 1,
+    store: ResultStore | None = _DEFAULT_STORE,  # type: ignore[assignment]
+) -> CampaignResult:
+    """Execute *specs*, warm-starting from *store*, fanning out over *jobs*.
+
+    ``store`` defaults to the process-wide persistent store (pass ``None``
+    to run storeless).  With ``jobs > 1`` cold specs are sharded across a
+    process pool; results always merge in spec order.  Non-revivable specs
+    (enum-valued kwargs) cannot cross a process boundary and are executed
+    in-process regardless of *jobs*.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if store is _DEFAULT_STORE:
+        store = default_store()
+    ordered: list[RunSpec] = []
+    seen: set[tuple] = set()
+    for spec in specs:
+        if spec.key not in seen:
+            seen.add(spec.key)
+            ordered.append(spec)
+    if not ordered:
+        raise ConfigurationError("a campaign needs at least one run spec")
+
+    rows: dict[str, CampaignRow] = {}
+    pending: list[RunSpec] = []
+    hits = 0
+    for spec in ordered:
+        payload = (
+            store.get("run", spec.digest, spec.fingerprint)
+            if store is not None else None
+        )
+        if payload is not None:
+            rows[spec.digest] = _merge_row(spec, summarize_payload(payload), True)
+            hits += 1
+        else:
+            pending.append(spec)
+
+    shardable = [spec for spec in pending if spec.revivable]
+    local = [spec for spec in pending if not spec.revivable]
+    pids: set[int] = set()
+    if jobs > 1 and len(shardable) > 1:
+        root = str(store.root) if store is not None else None
+        workers = min(jobs, len(shardable))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _campaign_worker, {"spec": spec.to_dict(), "root": root}
+                ): spec
+                for spec in shardable
+            }
+            for future in as_completed(futures):
+                spec = futures[future]
+                outcome = future.result()
+                rows[spec.digest] = _merge_row(
+                    spec, outcome["row"], outcome["cached"]
+                )
+                pids.add(outcome["pid"])
+    else:
+        local = shardable + local
+    for spec in local:
+        rows[spec.digest] = _merge_row(spec, _execute_spec(spec, store), False)
+    if local:
+        pids.add(os.getpid())
+
+    misses = len(pending)
+    registry = Registry()
+    registry.counter(
+        "campaign_cache_hits_total",
+        "campaign runs served from the persistent result store",
+    ).inc(hits)
+    registry.counter(
+        "campaign_cache_misses_total",
+        "campaign runs that had to simulate",
+    ).inc(misses)
+    registry.counter(
+        "campaign_runs_total", "distinct run specs in the campaign",
+    ).inc(len(ordered))
+    registry.gauge(
+        "campaign_workers_configured", "worker processes requested (--jobs)",
+    ).set(jobs)
+    registry.gauge(
+        "campaign_workers_used", "worker processes that executed >= 1 run",
+    ).set(len(pids))
+    return CampaignResult(
+        rows=[rows[spec.digest] for spec in ordered],
+        cache_hits=hits,
+        cache_misses=misses,
+        jobs=jobs,
+        workers_used=len(pids),
+        registry=registry,
+    )
+
+
+def format_campaign_table(result: CampaignResult) -> str:
+    """The deterministic summary table (fixed widths, fixed float formats).
+
+    Deliberately excludes cache provenance (that lives in
+    :func:`format_campaign_stats`): the table is byte-identical whether
+    rows came from workers, the serial path, or a warm store.
+    """
+    header = (
+        f"{'workload':<12} {'system':<9} {'nodes':>5} {'net':>4} {'rpn':>4} "
+        f"{'runtime[s]':>14} {'GFLOPS':>10} {'MFLOPS/W':>10} "
+        f"{'energy[J]':>14} {'ok':>3}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        lines.append(
+            f"{row.workload:<12} {row.system:<9} {row.nodes:>5} "
+            f"{row.network:>4} {row.ranks_per_node:>4} "
+            f"{row.runtime_seconds:>14.6f} {row.gflops:>10.3f} "
+            f"{row.mflops_per_watt:>10.1f} {row.energy_joules:>14.2f} "
+            f"{'yes' if row.completed else 'NO':>3}"
+        )
+    return "\n".join(lines)
+
+
+def format_campaign_stats(result: CampaignResult) -> str:
+    """The (cache-state-dependent) counter summary printed after the table."""
+    return (
+        f"cache: {result.cache_hits} hits, {result.cache_misses} misses\n"
+        f"workers: {result.workers_used} used of {result.jobs} requested"
+    )

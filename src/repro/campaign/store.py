@@ -1,0 +1,132 @@
+"""The persistent result store: one JSON file per cached artifact.
+
+Entries live under ``.repro-cache/`` (override with ``REPRO_CACHE_DIR``,
+disable entirely with ``REPRO_DISK_CACHE=0``) as
+``<kind>-<digest>.json`` — ``kind`` tags what the payload is (a full run,
+a baseline row), ``digest`` is the :class:`~repro.campaign.spec.RunSpec`
+content address.  Every entry records the code fingerprint it was written
+under; a lookup whose fingerprint differs is a miss, so editing any
+simulator source invalidates the whole store without any bookkeeping.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent campaign
+workers can publish results without torn files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Schema stamped into every store file; bump to orphan old layouts.
+STORE_SCHEMA = 1
+
+#: Default store directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_FALSY = ("0", "no", "off", "false")
+
+
+class ResultStore:
+    """A fingerprint-validated JSON store with hit/miss accounting."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, kind: str, digest: str) -> Path:
+        if not kind.replace("-", "a").isidentifier():
+            raise ConfigurationError(f"bad store kind {kind!r}")
+        return self.root / f"{kind}-{digest}.json"
+
+    def get(self, kind: str, digest: str, fingerprint: str) -> Any | None:
+        """The payload cached for (*kind*, *digest*), or None.
+
+        A missing file, unreadable JSON, schema mismatch, or stale
+        fingerprint all count as a miss — the store is advisory, never a
+        source of errors.
+        """
+        path = self._path(kind, digest)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != STORE_SCHEMA
+            or document.get("fingerprint") != fingerprint
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document.get("payload")
+
+    def put(self, kind: str, digest: str, fingerprint: str, payload: Any) -> Path:
+        """Atomically publish *payload* under (*kind*, *digest*)."""
+        path = self._path(kind, digest)
+        self.root.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": STORE_SCHEMA,
+            "fingerprint": fingerprint,
+            "kind": kind,
+            "digest": digest,
+            "payload": payload,
+        }
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(document, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.json")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json"))) if self.root.is_dir() else 0
+
+
+_default: ResultStore | None = None
+
+
+def resolve_cache_root() -> str | None:
+    """The configured store directory, or None when disabled by env."""
+    if os.environ.get("REPRO_DISK_CACHE", "").strip().lower() in _FALSY:
+        return None
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+def default_store() -> ResultStore | None:
+    """The process-wide store for the configured root (None when disabled).
+
+    Re-resolves the environment on every call so tests can repoint the
+    store; the instance (and its hit/miss counters) is reused while the
+    root stays put.
+    """
+    global _default
+    root = resolve_cache_root()
+    if root is None:
+        return None
+    if _default is None or str(_default.root) != str(Path(root)):
+        _default = ResultStore(root)
+    return _default
+
+
+def reset_default_store() -> None:
+    """Drop the memoized default store (tests repointing REPRO_CACHE_DIR)."""
+    global _default
+    _default = None

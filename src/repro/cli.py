@@ -34,6 +34,11 @@ Commands
 ``trace``
     Run one workload traced and print the Paraver-style timeline plus the
     per-rank utilization summary (the ``run --timeline`` view, standalone).
+``sweep``
+    Run a campaign (workload x nodes x network grid, inline flags or a JSON
+    campaign file) sharded over ``--jobs`` worker processes, warm-starting
+    from the persistent ``.repro-cache/`` result store; prints the summary
+    table plus cache/worker counters.  See ``docs/CAMPAIGN.md``.
 """
 
 from __future__ import annotations
@@ -297,6 +302,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        ResultStore,
+        build_campaign,
+        format_campaign_stats,
+        format_campaign_table,
+        load_campaign_file,
+        run_campaign,
+    )
+
+    if args.campaign_file is not None:
+        if args.workloads:
+            raise ConfigurationError(
+                "pass either a campaign file or --workloads, not both"
+            )
+        specs = load_campaign_file(args.campaign_file)
+    else:
+        if not args.workloads:
+            raise ConfigurationError(
+                "provide a campaign file or --workloads NAME [NAME ...]"
+            )
+        specs = build_campaign(
+            tuple(_require_workload(name) for name in args.workloads),
+            nodes=tuple(args.nodes),
+            networks=tuple(args.networks),
+            system=args.system,
+            ranks_per_node=args.ranks_per_node,
+        )
+    if args.no_cache:
+        store = None
+    elif args.cache_dir is not None:
+        store = ResultStore(args.cache_dir)
+    else:
+        store = _DEFAULT_SWEEP_STORE
+    if store is _DEFAULT_SWEEP_STORE:
+        result = run_campaign(specs, jobs=args.jobs)
+    else:
+        result = run_campaign(specs, jobs=args.jobs, store=store)
+    print(format_campaign_table(result))
+    print()
+    print(format_campaign_stats(result))
+    return 0 if all(row.completed for row in result.rows) else 1
+
+
+#: Sentinel: sweep should fall through to the process default store.
+_DEFAULT_SWEEP_STORE = object()
+
+
 def _exp_fig1() -> str:
     from repro.bench import experiments as ex, tables
 
@@ -509,6 +562,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--width", type=int, default=100,
                          help="timeline width in characters")
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a workload x nodes x network campaign with the result cache",
+    )
+    sweep_p.add_argument("campaign_file", nargs="?", default=None,
+                         metavar="CAMPAIGN.json",
+                         help="JSON campaign file (see docs/CAMPAIGN.md); "
+                              "omit to describe the grid with flags")
+    sweep_p.add_argument("--workloads", nargs="*", default=None,
+                         help="workload names for the flag-built grid")
+    sweep_p.add_argument("--nodes", nargs="*", type=int, default=(4,),
+                         help="cluster sizes to sweep (default: 4)")
+    sweep_p.add_argument("--networks", nargs="*", choices=("1G", "10G"),
+                         default=("10G",),
+                         help="interconnects to sweep (default: 10G)")
+    sweep_p.add_argument("--system", choices=("tx1", "gtx980", "thunderx"),
+                         default="tx1")
+    sweep_p.add_argument("--ranks-per-node", type=int, default=None,
+                         help="override the per-workload default rank count")
+    sweep_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for cold runs (default: 1, "
+                              "serial)")
+    sweep_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result store directory (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="run storeless: no warm-starts, nothing "
+                              "persisted")
+
     from repro.lint.cli import add_lint_arguments
 
     lint_p = sub.add_parser(
@@ -532,6 +614,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "telemetry": _cmd_telemetry,
         "trace": _cmd_trace,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)

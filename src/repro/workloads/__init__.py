@@ -39,23 +39,38 @@ NPB_NAMES = tuple(sorted(NPB_SPECS))
 ALL_NAMES = GPGPU_NAMES + NPB_NAMES
 
 
+#: tag -> (workload class, preset kwargs the tag fixes).  The preset is
+#: what distinguishes e.g. ``alexnet`` from ``googlenet``; campaign
+#: normalization folds it into the cache key and rejects overrides.
+GPGPU_FACTORIES: dict[str, tuple[type[Workload], dict]] = {
+    "hpl": (HplWorkload, {}),
+    "jacobi": (JacobiWorkload, {}),
+    "cloverleaf": (CloverLeafWorkload, {}),
+    "tealeaf2d": (TeaLeaf2DWorkload, {}),
+    "tealeaf3d": (TeaLeaf3DWorkload, {}),
+    "alexnet": (ImageClassificationWorkload, {"network": "alexnet"}),
+    "googlenet": (ImageClassificationWorkload, {"network": "googlenet"}),
+}
+
+
 def gpgpu_workload(name: str, **kwargs) -> Workload:
     """Factory for the GPGPU-accelerated benchmarks."""
-    factories = {
-        "hpl": HplWorkload,
-        "jacobi": JacobiWorkload,
-        "cloverleaf": CloverLeafWorkload,
-        "tealeaf2d": TeaLeaf2DWorkload,
-        "tealeaf3d": TeaLeaf3DWorkload,
-        "alexnet": lambda **kw: ImageClassificationWorkload(network="alexnet", **kw),
-        "googlenet": lambda **kw: ImageClassificationWorkload(network="googlenet", **kw),
-    }
     try:
-        return factories[name](**kwargs)
+        cls, preset = GPGPU_FACTORIES[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown GPGPU workload {name!r}; choose from {GPGPU_NAMES}"
         ) from None
+    conflicts = sorted(
+        key for key, value in preset.items()
+        if key in kwargs and kwargs[key] != value
+    )
+    if conflicts:
+        raise ConfigurationError(
+            f"workload {name!r} fixes parameter(s) {', '.join(conflicts)}; "
+            f"they cannot be overridden"
+        )
+    return cls(**{**kwargs, **preset})
 
 
 def make_workload(name: str, **kwargs) -> Workload:
@@ -63,6 +78,11 @@ def make_workload(name: str, **kwargs) -> Workload:
     if name in GPGPU_NAMES:
         return gpgpu_workload(name, **kwargs)
     if name in NPB_SPECS:
+        if kwargs:
+            raise ConfigurationError(
+                f"workload {name!r} accepts no parameters; "
+                f"got {', '.join(sorted(kwargs))}"
+            )
         return npb_workload(name)
     raise ConfigurationError(f"unknown workload {name!r}; choose from {ALL_NAMES}")
 
@@ -70,6 +90,7 @@ def make_workload(name: str, **kwargs) -> Workload:
 __all__ = [
     "ALL_NAMES",
     "CloverLeafWorkload",
+    "GPGPU_FACTORIES",
     "GPGPU_NAMES",
     "GpuIterativeWorkload",
     "HplCollocatedWorkload",

@@ -28,12 +28,20 @@ def test_run_workload_traced():
 
 
 def test_run_workload_cache_hits():
+    from repro.bench.runner import cache_stats
+
     clear_cache()
     first = run_workload("jacobi", nodes=2)
     second = run_workload("jacobi", nodes=2)
-    assert first is second  # memoized object identity
+    # Cache hits hand out defensive snapshots, never a shared object ...
+    assert first is not second
+    assert first.result is not second.result
+    # ... but the measurements are bit-identical and the hit was counted.
+    assert first.result.elapsed_seconds == second.result.elapsed_seconds
+    assert cache_stats()["memory_hits"] == 1
     third = run_workload("jacobi", nodes=2, use_cache=False)
     assert third is not first
+    assert cache_stats()["memory_hits"] == 1  # bypass did not touch the cache
     clear_cache()
 
 

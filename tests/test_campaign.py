@@ -1,0 +1,351 @@
+"""Tests for repro.campaign: RunSpec normalization, the two-tier result
+cache, and the parallel campaign runner — including regression tests for
+the four historical ``run_workload`` cache bugs (key aliasing on resolved
+defaults, thunderx phantom dimensions, shared mutable cached state, and
+bare TypeErrors on bad kwargs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import cache_stats, clear_cache, run_spec, run_workload
+from repro.campaign import (
+    ResultStore,
+    RunSpec,
+    build_campaign,
+    format_campaign_stats,
+    format_campaign_table,
+    load_campaign_file,
+    run_campaign,
+)
+from repro.campaign.serialize import run_from_payload, run_to_payload
+from repro.cuda.memory_models import MemoryModel
+from repro.errors import ConfigurationError
+
+JACOBI_SMALL = {"n": 64, "iterations": 2}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches(tmp_path, monkeypatch):
+    """Every test gets an empty memory tier and its own store directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+# -- RunSpec normalization (bugfixes 1, 2, 4) -------------------------------------
+
+
+def test_default_resolution_aliasing_fixed():
+    # Historical bug: omitted defaults and explicit defaults keyed apart.
+    implicit = RunSpec.normalize("hpl")
+    explicit = RunSpec.normalize(
+        "hpl", nodes=16, network="10G", system="tx1",
+        ranks_per_node=None, traced=False,
+    )
+    assert implicit.key == explicit.key
+    assert implicit.digest == explicit.digest
+
+
+def test_workload_kwarg_defaults_resolve_into_key():
+    bare = RunSpec.normalize("jacobi", nodes=2)
+    spelled = RunSpec.normalize(
+        "jacobi", nodes=2, n=8192, iterations=60,
+        memory_model=None, gpudirect=False,
+    )
+    assert bare.key == spelled.key
+    different = RunSpec.normalize("jacobi", nodes=2, iterations=61)
+    assert different.key != bare.key
+
+
+def test_run_workload_defaults_share_one_cache_entry():
+    run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    run_workload(
+        "jacobi", nodes=2, network="10G", system="tx1", ranks_per_node=None,
+        traced=False, memory_model=None, gpudirect=False, **JACOBI_SMALL,
+    )
+    assert cache_stats()["memory_hits"] == 1
+
+
+def test_thunderx_phantom_dimensions_fixed():
+    # Historical bug: `nodes` (ignored by the cluster factory) and
+    # `network` still participated in the key — one run, up to 4 keys.
+    variants = [
+        RunSpec.normalize("ep", system="thunderx", nodes=nodes, network=net)
+        for nodes in (2, 16) for net in ("1G", "10G")
+    ]
+    assert len({spec.key for spec in variants}) == 1
+    assert variants[0].nodes == 1
+    assert variants[0].network == "10G"
+    assert variants[0].ranks_per_node == 64
+
+
+def test_thunderx_one_simulation_for_all_shapes():
+    run_workload("ep", system="thunderx", nodes=2, network="1G")
+    run_workload("ep", system="thunderx", nodes=16, network="10G")
+    assert cache_stats()["memory_hits"] == 1
+
+
+def test_gtx980_network_canonicalized():
+    a = RunSpec.normalize("jacobi", system="gtx980", nodes=2, network="1G")
+    b = RunSpec.normalize("jacobi", system="gtx980", nodes=2, network="10G")
+    assert a.key == b.key
+
+
+def test_unhashable_kwargs_raise_taxonomy_error():
+    # Historical bug: a dict/set value escaped as a bare TypeError from
+    # the tuple-of-items cache key.
+    with pytest.raises(ConfigurationError, match="uncacheable type"):
+        run_workload("jacobi", nodes=2, memory_model={"zero": "copy"})
+    with pytest.raises(ConfigurationError, match="uncacheable type"):
+        RunSpec.normalize("jacobi", iterations={1, 2})
+
+
+def test_unknown_network_lists_choices():
+    with pytest.raises(ConfigurationError, match=r"known networks: 1G, 10G"):
+        run_workload("jacobi", nodes=2, network="40G")
+
+
+def test_unknown_workload_parameter_lists_known():
+    with pytest.raises(ConfigurationError, match="known parameters:.*iterations"):
+        RunSpec.normalize("jacobi", itertions=5)
+
+
+def test_npb_kwargs_rejected_not_dropped():
+    # Historical aliasing: NPB factories silently dropped kwargs, so
+    # distinct-looking keys mapped onto identical runs.
+    with pytest.raises(ConfigurationError, match="accepts no parameters"):
+        RunSpec.normalize("ep", iterations=5)
+
+
+def test_preset_parameters_cannot_be_overridden():
+    from repro.workloads import gpgpu_workload
+
+    with pytest.raises(ConfigurationError, match="fixes parameter"):
+        gpgpu_workload("alexnet", network="googlenet")
+    # Tag-equal values are tolerated (resolved kwargs round-trip through
+    # the factory carrying the preset).
+    assert gpgpu_workload("alexnet", network="alexnet").name == "alexnet"
+
+
+def test_invalid_nodes_and_rpn_rejected():
+    with pytest.raises(ConfigurationError, match="nodes"):
+        RunSpec.normalize("jacobi", nodes=0)
+    with pytest.raises(ConfigurationError, match="ranks_per_node"):
+        RunSpec.normalize("jacobi", ranks_per_node=-1)
+
+
+def test_enum_kwargs_are_memory_tier_only():
+    spec = RunSpec.normalize("jacobi", nodes=2, memory_model=MemoryModel.ZERO_COPY)
+    assert not spec.revivable
+    with pytest.raises(ConfigurationError, match="non-revivable"):
+        spec.constructor_kwargs()
+
+
+def test_spec_wire_round_trip_preserves_digest():
+    spec = RunSpec.normalize("jacobi", nodes=4, traced=True, iterations=3)
+    clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone.key == spec.key
+    assert clone.digest == spec.digest
+    assert clone.fingerprint == spec.fingerprint
+
+
+# -- shared mutable state (bugfix 3) ----------------------------------------------
+
+
+def test_cached_runs_do_not_share_mutable_state():
+    first = run_workload("jacobi", nodes=2, traced=True, **JACOBI_SMALL)
+    # Vandalize everything mutable on the first handle.
+    first.result.rank_values.clear()
+    first.result.counters.clear()
+    first.result.failures[0] = "vandalized"
+    first.trace.states.clear()
+    first.rank_to_node.append(99)
+    second = run_workload("jacobi", nodes=2, traced=True, **JACOBI_SMALL)
+    assert second.result.rank_values
+    assert second.result.counters
+    assert not second.result.failures
+    assert second.trace.states
+    assert second.rank_to_node == [0, 1]
+
+
+def test_cached_runs_get_fresh_clusters():
+    first = run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    second = run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    assert first.cluster is not second.cluster
+    assert second.cluster.node_count == 2
+
+
+# -- the persistent store ---------------------------------------------------------
+
+
+def test_store_round_trip_and_fingerprint_invalidation(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    store.put("run", "abc", "fp1", {"x": 1.25})
+    assert store.get("run", "abc", "fp1") == {"x": 1.25}
+    # A moved source fingerprint is a miss, not an error.
+    assert store.get("run", "abc", "fp2") is None
+    assert store.get("run", "missing", "fp1") is None
+    assert store.hits == 1 and store.misses == 2
+
+
+def test_store_tolerates_corrupt_files(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    path = store.put("run", "abc", "fp", {"x": 1})
+    path.write_text("not json", encoding="utf-8")
+    assert store.get("run", "abc", "fp") is None
+
+
+def test_disk_round_trip_reproduces_run_exactly():
+    spec = RunSpec.normalize("jacobi", nodes=2, traced=True, **JACOBI_SMALL)
+    cold = run_spec(spec, use_cache=False)
+    revived = run_from_payload(
+        spec, json.loads(json.dumps(run_to_payload(cold)))
+    )
+    assert revived.result.elapsed_seconds == cold.result.elapsed_seconds
+    assert revived.result.energy_joules == cold.result.energy_joules
+    assert revived.result.network_bytes == cold.result.network_bytes
+    assert revived.result.counters == cold.result.counters
+    assert revived.trace.states == cold.trace.states
+    assert revived.rank_to_node == cold.rank_to_node
+    assert revived.cluster.node_count == cold.cluster.node_count
+
+
+def test_second_process_would_warm_start_from_disk():
+    run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    clear_cache()  # simulate a fresh process: memory tier gone, disk warm
+    run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    stats = cache_stats()
+    assert stats["disk_hits"] == 1
+    assert stats["memory_hits"] == 0
+
+
+def test_disk_cache_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+    run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    clear_cache()
+    run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    assert cache_stats()["disk_hits"] == 0
+
+
+# -- campaigns --------------------------------------------------------------------
+
+
+def test_build_campaign_dedupes_canonical_grid():
+    specs = build_campaign(
+        ["ep"], nodes=(2, 4, 8), networks=("1G", "10G"), system="thunderx"
+    )
+    assert len(specs) == 1  # the whole grid folds onto the one Cavium box
+
+
+def test_build_campaign_rejects_unmatched_kwargs():
+    with pytest.raises(ConfigurationError, match="do not match"):
+        build_campaign(["jacobi"], workload_kwargs={"hpl": {}})
+
+
+def test_campaign_serial_parallel_and_warm_tables_identical():
+    specs = build_campaign(
+        ["jacobi"], nodes=(2, 4), networks=("1G", "10G"),
+        workload_kwargs={"jacobi": JACOBI_SMALL},
+    )
+    parallel_cold = run_campaign(specs, jobs=2)
+    assert parallel_cold.cache_misses == len(specs)
+    assert parallel_cold.workers_used >= 2
+    warm = run_campaign(specs, jobs=1)
+    assert warm.cache_hits == len(specs)
+    assert warm.cache_misses == 0
+    serial_cold = run_campaign(specs, jobs=1, store=None)
+    table = format_campaign_table(parallel_cold)
+    assert format_campaign_table(warm) == table
+    assert format_campaign_table(serial_cold) == table
+    assert "jacobi" in table and "10G" in table
+
+
+def test_campaign_row_order_is_input_order_not_completion_order():
+    specs = build_campaign(
+        ["jacobi"], nodes=(4, 2), workload_kwargs={"jacobi": JACOBI_SMALL}
+    )
+    result = run_campaign(specs, jobs=2)
+    assert [row.nodes for row in result.rows] == [4, 2]
+
+
+def test_campaign_counters_exported_through_registry():
+    specs = build_campaign(["jacobi"], nodes=(2,),
+                           workload_kwargs={"jacobi": JACOBI_SMALL})
+    result = run_campaign(specs, jobs=1)
+    from repro.telemetry import to_prometheus_text
+
+    text = to_prometheus_text(result.registry)
+    assert "campaign_cache_misses_total 1" in text
+    assert "campaign_runs_total 1" in text
+    stats = format_campaign_stats(result)
+    assert "0 hits, 1 misses" in stats
+
+
+def test_campaign_requires_specs_and_valid_jobs():
+    with pytest.raises(ConfigurationError, match="at least one"):
+        run_campaign([])
+    specs = build_campaign(["jacobi"], workload_kwargs={"jacobi": JACOBI_SMALL})
+    with pytest.raises(ConfigurationError, match="jobs"):
+        run_campaign(specs, jobs=0)
+
+
+def test_campaign_file_loading(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps({
+        "workloads": ["jacobi", "ep"],
+        "nodes": [2],
+        "networks": ["10G"],
+        "workload_kwargs": {"jacobi": JACOBI_SMALL},
+    }), encoding="utf-8")
+    specs = load_campaign_file(path)
+    assert [spec.name for spec in specs] == ["jacobi", "ep"]
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"workloads": ["jacobi"], "node": [2]}),
+                   encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="unknown key"):
+        load_campaign_file(bad)
+    with pytest.raises(ConfigurationError, match="does not exist"):
+        load_campaign_file(tmp_path / "nope.json")
+
+
+# -- consumers warm-start ---------------------------------------------------------
+
+
+def test_bench_baseline_rows_warm_start():
+    from repro.campaign.store import default_store
+    from repro.insight import collect_baseline
+
+    first = collect_baseline(workloads=("jacobi",), nodes=2)
+    store = default_store()
+    assert store.hits == 0
+    second = collect_baseline(workloads=("jacobi",), nodes=2)
+    assert store.hits == 1  # the derived row came back from disk
+    assert second == first
+
+
+def test_cli_sweep_smoke(capsys):
+    from repro.cli import main
+
+    argv = ["sweep", "--workloads", "jacobi", "--nodes", "2", "--jobs", "2"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "cache: 0 hits, 1 misses" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "cache: 1 hits, 0 misses" in warm
+    assert cold.splitlines()[:3] == warm.splitlines()[:3]  # identical table
+
+
+def test_cli_sweep_rejects_conflicting_sources(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "c.json"
+    path.write_text('{"workloads": ["jacobi"]}', encoding="utf-8")
+    code = main(["sweep", str(path), "--workloads", "jacobi"])
+    assert code == 2
+    assert "not both" in capsys.readouterr().err
