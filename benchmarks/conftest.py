@@ -10,19 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-
-@pytest.fixture(autouse=True, scope="session")
-def _isolated_result_store(tmp_path_factory):
-    """Keep tier-2 runs off the developer's warm ``.repro-cache/``."""
-    import os
-
-    from repro.campaign.store import reset_default_store
-
-    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
-    reset_default_store()
-    yield
-    os.environ.pop("REPRO_CACHE_DIR", None)
-    reset_default_store()
+from tests._store_isolation import _isolated_result_store  # noqa: F401
 
 
 @pytest.fixture

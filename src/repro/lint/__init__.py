@@ -1,19 +1,26 @@
-"""``repro.lint``: AST-based static analysis for the simulator.
+"""``repro.lint``: whole-program static analysis for the simulator.
 
 The paper's figures depend on reproducible measurement; this package
-machine-checks the invariants that keep them reproducible — determinism
-(RL001), sim-kernel correctness (RL002), MPI call-shape hygiene (RL003),
-unit safety (RL004), the error taxonomy (RL005), and float-comparison
-discipline (RL006).  See ``docs/LINT.md`` for the rule catalogue.
+machine-checks the invariants that keep them reproducible.  The per-file
+pack (RL001–RL007) covers determinism, sim-kernel correctness, MPI
+call-shape hygiene, unit safety, the error taxonomy, float-comparison
+discipline, and diagnostic channels.  The whole-program families ride a
+project-wide symbol table and import/call graph: RL100 propagates
+wall-clock/RNG/set-order taint interprocedurally, RL200 checks unit
+*dimensions* (seconds, bytes, flops, joules and their rates), RL300
+checks cache/process safety for campaign workers, and RL400 checks
+telemetry span balance.  See ``docs/LINT.md`` for the rule catalogue.
 
 Programmatic use::
 
-    from repro.lint import lint_paths, load_config
-    findings = lint_paths(["src/repro"], config=load_config("pyproject.toml"))
+    from repro.lint import lint_project, load_config
+    result = lint_project(["src/repro"], config=load_config("pyproject.toml"))
+    for finding in result.findings:
+        print(finding.render())
 
 Command line::
 
-    python -m repro lint [paths ...] [--format json]
+    python -m repro lint [paths ...] [--format json|sarif] [--no-cache]
 """
 
 from repro.lint.config import LintConfig, find_pyproject, load_config
@@ -21,33 +28,46 @@ from repro.lint.engine import (
     ALL_RULES,
     RULES,
     FileContext,
+    LintResult,
+    ProjectContext,
+    ProjectRule,
     Rule,
+    SuppressionStats,
     lint_paths,
+    lint_project,
     lint_source,
     register,
     suppressions,
 )
 from repro.lint.findings import Finding, Severity
 from repro.lint.reporters import parse_json, render_json, render_text
+from repro.lint.sarif import render_sarif
 
-# Importing the rule pack populates the registry.
+# Importing the rule packs populates the registry.
 from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
+from repro.lint import rules_interproc as _rules_interproc  # noqa: F401
 
 __all__ = [
     "ALL_RULES",
     "FileContext",
     "Finding",
     "LintConfig",
+    "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "RULES",
     "Rule",
     "Severity",
+    "SuppressionStats",
     "find_pyproject",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "load_config",
     "parse_json",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "suppressions",
 ]

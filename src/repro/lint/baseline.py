@@ -1,0 +1,192 @@
+"""The committed baseline of accepted findings.
+
+A baseline is the third suppression channel, after fixing the code and an
+inline ``noqa``: a reviewed JSON file listing findings the project has
+explicitly accepted (typically module-level designs a line comment cannot
+express well, like an intentional per-process memo table).  Baselined
+findings are dropped from the report; entries that no longer match any
+finding are *stale* and reported so the baseline shrinks as code improves.
+
+Matching deliberately ignores line numbers — accepted findings should
+survive unrelated edits above them — and keys on (path, rule, message).
+Each matched entry absorbs any number of identical findings (a rule can
+legitimately fire the same message on several lines of one construct).
+
+File format (``lint-baseline.json``, path configurable)::
+
+    {
+      "schema": 1,
+      "entries": [
+        {"path": "src/repro/x.py", "rule": "RL300",
+         "message": "...exact finding message...",
+         "justification": "why this is accepted"}
+      ]
+    }
+
+``python -m repro lint --update-baseline`` rewrites the file from the
+current findings (carrying existing justifications forward).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding (line-number agnostic)."""
+
+    path: str
+    rule: str
+    message: str
+    justification: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}: {self.rule} {self.message}"
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: list[BaselineEntry]
+    path: Path | None = None
+
+    @property
+    def keys(self) -> set[tuple[str, str, str]]:
+        return {entry.key for entry in self.entries}
+
+
+def baseline_path(config: LintConfig) -> Path | None:
+    """The configured baseline file location, or None when unset."""
+    if not config.baseline:
+        return None
+    base = Path(config.root) if config.root else Path(".")
+    return base / config.baseline
+
+
+def load_baseline(config: LintConfig) -> Baseline:
+    """Read the configured baseline (empty when unset or missing).
+
+    A configured-but-missing file is treated as empty rather than an
+    error, so a fresh checkout lints before the first baseline commit.
+    """
+    path = baseline_path(config)
+    if path is None or not path.is_file():
+        return Baseline(entries=[], path=path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(document, dict) or document.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"baseline {path} must be a JSON object with schema "
+            f"{BASELINE_SCHEMA}"
+        )
+    entries = []
+    for item in document.get("entries", []):
+        try:
+            entries.append(BaselineEntry(
+                path=item["path"],
+                rule=item["rule"],
+                message=item["message"],
+                justification=item.get("justification", ""),
+            ))
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"baseline {path} holds a malformed entry: {exc}"
+            )
+    return Baseline(entries=entries, path=path)
+
+
+def _canon(path: str, root: Path | None) -> str:
+    """Repo-relative posix form of *path* when it lives under *root*.
+
+    Findings carry whatever path the caller linted with (absolute or
+    relative); baseline entries are committed repo-relative.  Canonical
+    form makes the two comparable either way.
+    """
+    p = Path(path)
+    if root is not None:
+        try:
+            return p.resolve().relative_to(root.resolve()).as_posix()
+        except (ValueError, OSError):
+            pass
+    return p.as_posix()
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Baseline
+) -> tuple[list[Finding], int, list[str]]:
+    """(kept findings, baselined count, stale entry descriptions)."""
+    root = baseline.path.parent if baseline.path is not None else None
+    keys = baseline.keys
+    kept: list[Finding] = []
+    matched: set[tuple[str, str, str]] = set()
+    dropped = 0
+    for finding in findings:
+        key = (_canon(finding.path, root), finding.rule, finding.message)
+        if key in keys:
+            matched.add(key)
+            dropped += 1
+        else:
+            kept.append(finding)
+    stale = [
+        entry.render() for entry in baseline.entries if entry.key not in matched
+    ]
+    return kept, dropped, stale
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    previous: Baseline | None = None,
+) -> int:
+    """Write *findings* as the new baseline, keeping old justifications.
+
+    Returns the number of entries written.  Entries are deduplicated and
+    sorted so the file diffs cleanly in review.
+    """
+    root = path.parent
+    carried = {
+        entry.key: entry.justification for entry in (previous.entries if previous else [])
+    }
+    unique: dict[tuple[str, str, str], BaselineEntry] = {}
+    for finding in findings:
+        key = (_canon(finding.path, root), finding.rule, finding.message)
+        unique.setdefault(key, BaselineEntry(
+            path=key[0],
+            rule=finding.rule,
+            message=finding.message,
+            justification=carried.get(key, "TODO: justify this acceptance"),
+        ))
+    entries = [unique[k] for k in sorted(unique)]
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {
+                "path": e.path,
+                "rule": e.rule,
+                "message": e.message,
+                "justification": e.justification,
+            }
+            for e in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -2,6 +2,12 @@
 
 Exit codes: 0 when the tree is clean, 1 when findings exist, 2 on usage
 errors (bad paths, bad config).
+
+Stream discipline: the findings report (text/json/sarif) goes to stdout;
+everything advisory — cache status, suppression statistics, stale-noqa
+and stale-baseline notices — goes to stderr.  CI relies on this split:
+cold and warm runs must produce byte-identical stdout while stderr says
+which one hit the cache.
 """
 
 from __future__ import annotations
@@ -12,8 +18,9 @@ from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.lint.config import LintConfig, find_pyproject, load_config
-from repro.lint.engine import RULES, lint_paths
+from repro.lint.engine import RULES, LintResult, lint_project
 from repro.lint.reporters import render_json, render_text
+from repro.lint.sarif import render_sarif
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -23,7 +30,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files/directories to lint (default: paths from [tool.repro.lint])",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -38,6 +45,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--config", default=None,
         help="pyproject.toml to read [tool.repro.lint] from "
              "(default: nearest one above the cwd)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of accepted findings "
+             "(default: the configured [tool.repro.lint] baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the incremental cache under .repro-cache/lint/",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -56,6 +76,8 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
         overrides["select"] = tuple(args.select)
     if args.ignore is not None:
         overrides["ignore"] = tuple(args.ignore)
+    if getattr(args, "baseline", None) is not None:
+        overrides["baseline"] = args.baseline
     if overrides:
         from dataclasses import replace
 
@@ -67,8 +89,49 @@ def _list_rules() -> str:
     lines = []
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
-        lines.append(f"{rule_id} {rule.name:16s} {rule.summary}")
+        lines.append(f"{rule_id} {rule.name:24s} {rule.summary}")
     return "\n".join(lines)
+
+
+def _report_advisories(result: LintResult) -> None:
+    """Cache/suppression/baseline accounting, on stderr only."""
+    print(result.cache_status, file=sys.stderr)
+    if result.suppressions.used:
+        counts = ", ".join(
+            f"{rule}: {n}" for rule, n in sorted(result.suppressions.used.items())
+        )
+        print(f"suppressions used ({counts})", file=sys.stderr)
+    for path, line, rule in result.suppressions.stale:
+        label = "all rules" if rule == "*" else rule
+        print(
+            f"stale suppression: {path}:{line} noqa[{label}] matched no finding",
+            file=sys.stderr,
+        )
+    if result.baselined:
+        print(f"baseline: {result.baselined} finding(s) accepted", file=sys.stderr)
+    for entry in result.stale_baseline:
+        print(f"stale baseline entry: {entry}", file=sys.stderr)
+
+
+def _update_baseline(result: LintResult, config: LintConfig) -> int:
+    from repro.lint.baseline import baseline_path, load_baseline, write_baseline
+
+    path = baseline_path(config)
+    if path is None:
+        print(
+            "repro lint: --update-baseline needs a baseline path "
+            "(--baseline or [tool.repro.lint] baseline)",
+            file=sys.stderr,
+        )
+        return 2
+    # Re-apply nothing: the baseline should hold every *current* finding,
+    # including ones the old baseline already accepted.
+    previous = load_baseline(config)
+    survivors = list(result.findings)
+    count = write_baseline(path, survivors, previous=previous)
+    print(f"baseline: wrote {count} entr{'y' if count == 1 else 'ies'} to {path}",
+          file=sys.stderr)
+    return 0
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -86,11 +149,29 @@ def run_lint(args: argparse.Namespace) -> int:
         targets = [Path(p) for p in args.paths] if args.paths else config.resolved_paths()
         if not targets:
             raise ConfigurationError("nothing to lint: no paths given or configured")
-        findings = lint_paths(targets, config=config)
+        lint_config = config
+        if args.update_baseline:
+            # The new baseline must hold *every* current finding, including
+            # ones the old baseline already accepts — lint unbaselined.
+            from dataclasses import replace
+
+            lint_config = replace(config, baseline="")
+        result = lint_project(
+            targets, config=lint_config, use_cache=not args.no_cache
+        )
     except ConfigurationError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    report = render_json(findings) if args.format == "json" else render_text(findings)
+    if args.update_baseline:
+        return _update_baseline(result, config)
+    _report_advisories(result)
+    findings = result.findings
+    if args.format == "json":
+        report = render_json(findings)
+    elif args.format == "sarif":
+        report = render_sarif(findings)
+    else:
+        report = render_text(findings)
     print(report)
     return 1 if findings else 0
 
@@ -99,8 +180,8 @@ def main(argv: list[str] | None = None) -> int:
     """Standalone entry point (``python -m repro.lint.cli``)."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Static analysis for the repro simulator "
-                    "(determinism, units, MPI/sim-kernel hygiene).",
+        description="Whole-program static analysis for the repro simulator "
+                    "(determinism, unit dimensions, process safety, spans).",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

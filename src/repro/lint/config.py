@@ -17,6 +17,16 @@ Keys (all optional):
 ``diagnostic-exempt``
     Path fragments exempt from the diagnostic-channel rule (RL007): the
     CLI layer and the linter's own reporters print by design.
+``taint-exempt``
+    Path fragments exempt from the interprocedural determinism rule
+    (RL100).
+``process-roots``
+    Module names treated as campaign-worker entry points for the
+    process-safety rule (RL300); every module importable from a root is
+    worker-visible.
+``baseline``
+    Path (relative to the config root) of the committed baseline of
+    accepted findings; empty disables baselining.
 
 Python 3.10 has no ``tomllib``; a tiny fallback parser handles the subset
 of TOML this section needs (string values and string arrays) so the linter
@@ -42,6 +52,8 @@ DEFAULT_FLOAT_EQ_PATHS = ("sim/", "core/", "analysis/")
 DEFAULT_UNIT_EXEMPT = ("units.py",)
 #: Path fragments exempt from RL007 unless configured otherwise.
 DEFAULT_DIAGNOSTIC_EXEMPT = ("cli.py", "lint/")
+#: Worker entry-point modules for RL300 unless configured otherwise.
+DEFAULT_PROCESS_ROOTS = ("repro.campaign.runner", "repro.bench.runner")
 
 
 @dataclass(frozen=True)
@@ -54,6 +66,10 @@ class LintConfig:
     unit_exempt: tuple[str, ...] = DEFAULT_UNIT_EXEMPT
     float_eq_paths: tuple[str, ...] = DEFAULT_FLOAT_EQ_PATHS
     diagnostic_exempt: tuple[str, ...] = DEFAULT_DIAGNOSTIC_EXEMPT
+    taint_exempt: tuple[str, ...] = ()
+    process_roots: tuple[str, ...] = DEFAULT_PROCESS_ROOTS
+    #: Baseline file path relative to the config root; '' disables it.
+    baseline: str = ""
     #: Directory the config file lives in; '' when defaulted.
     root: str = ""
 
@@ -128,7 +144,7 @@ def load_config(pyproject: Path | str) -> LintConfig:
     if not pyproject.is_file():
         raise ConfigurationError(f"no such config file: {pyproject}")
     table = _lint_table(pyproject)
-    kwargs: dict[str, tuple[str, ...]] = {}
+    kwargs: dict[str, object] = {}
     mapping = {
         "select": "select",
         "ignore": "ignore",
@@ -136,9 +152,20 @@ def load_config(pyproject: Path | str) -> LintConfig:
         "unit-exempt": "unit_exempt",
         "float-eq-paths": "float_eq_paths",
         "diagnostic-exempt": "diagnostic_exempt",
+        "taint-exempt": "taint_exempt",
+        "process-roots": "process_roots",
+        "baseline": "baseline",
     }
     for toml_key, attr in mapping.items():
-        if toml_key in table:
+        if toml_key not in table:
+            continue
+        if attr == "baseline":
+            if not isinstance(table[toml_key], str):
+                raise ConfigurationError(
+                    "[tool.repro.lint] baseline must be a string"
+                )
+            kwargs[attr] = table[toml_key]
+        else:
             kwargs[attr] = _as_str_tuple(table[toml_key], toml_key)
     unknown = set(table) - set(mapping)
     if unknown:

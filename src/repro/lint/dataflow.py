@@ -1,0 +1,253 @@
+"""Interprocedural taint analysis for the determinism family (RL100).
+
+The per-file determinism rule (RL001) flags a wall-clock read or global
+RNG call *at the call site*.  What it cannot see is the same
+nondeterminism arriving through a helper: ``stamp()`` defined two modules
+away that returns ``time.time()``, or a function returning a bare ``set``
+that a scheduler then iterates.  This module computes, for every function
+in the project graph, a **taint summary**: which nondeterministic sources
+can influence its return value.
+
+The lattice is a powerset of source kinds (WALL_CLOCK, GLOBAL_RNG,
+SET_ORDER); transfer functions union.  Propagation is a fixpoint over the
+call graph: a function is tainted if any expression reachable from a
+``return`` statement mentions a taint source directly or calls a function
+whose summary is tainted.  The analysis is flow-insensitive inside a
+function (an over-approximation — a tainted assignment anywhere taints
+the name everywhere), which is the right polarity for a linter guarding
+bit-reproducibility.
+
+Each taint carries a *witness*: the location of the originating source,
+reported to the user so a finding three frames above the read still names
+the read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.graph import FunctionInfo, ProjectGraph, dotted
+
+#: Taint kinds.
+WALL_CLOCK = "wall-clock"
+GLOBAL_RNG = "global-rng"
+SET_ORDER = "set-order"
+
+#: Wall-clock dotted suffixes (kept in sync with the RL001 tables).
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+}
+
+_STDLIB_RNG = {
+    "random", "randint", "randrange", "uniform", "normalvariate", "gauss",
+    "shuffle", "choice", "choices", "sample", "betavariate", "expovariate",
+    "triangular", "vonmisesvariate",
+}
+
+_NUMPY_RNG = {
+    "rand", "randn", "random", "randint", "random_sample", "shuffle",
+    "permutation", "choice", "uniform", "normal", "standard_normal",
+    "poisson", "exponential", "binomial",
+}
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Where a taint originates (reported alongside downstream findings)."""
+
+    kind: str
+    detail: str
+    path: str
+    line: int
+
+    def render(self) -> str:
+        return f"{self.detail} at {self.path}:{self.line}"
+
+
+@dataclass
+class TaintSummary:
+    """Per-function result: the taints its return value may carry."""
+
+    #: kind -> originating witness (first in deterministic order).
+    returns: dict[str, Witness]
+    #: True when the function can return a bare set (hash-ordered).
+    returns_set: bool = False
+
+
+def classify_source_call(call: ast.Call) -> tuple[str, str] | None:
+    """(kind, detail) when *call* is a direct nondeterminism source."""
+    fn = dotted(call.func)
+    if fn is None:
+        return None
+    parts = fn.split(".")
+    tail2 = ".".join(parts[-2:])
+    if tail2 in _WALL_CLOCK_CALLS:
+        return (WALL_CLOCK, f"wall-clock read {fn}()")
+    if len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_RNG:
+        return (GLOBAL_RNG, f"module-level RNG {fn}()")
+    if (
+        len(parts) >= 3
+        and parts[-3] in ("np", "numpy")
+        and parts[-2] == "random"
+        and parts[-1] in _NUMPY_RNG
+    ):
+        return (GLOBAL_RNG, f"module-level RNG {fn}()")
+    if parts[-1] == "default_rng" and not call.args and not call.keywords:
+        return (GLOBAL_RNG, "unseeded default_rng()")
+    if fn == "random.Random" and not call.args and not call.keywords:
+        return (GLOBAL_RNG, "unseeded random.Random()")
+    return None
+
+
+def _returns_bare_set(value: ast.AST) -> bool:
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return dotted(value.func) == "set"
+    return False
+
+
+class _FunctionScan:
+    """One function's local taint facts, before interprocedural closure."""
+
+    def __init__(self, info: FunctionInfo, path: str) -> None:
+        self.info = info
+        self.path = path
+        #: Local variable name -> witnesses flowing into it.
+        self.var_taints: dict[str, dict[str, Witness]] = {}
+        #: Variables assigned a bare set.
+        self.set_vars: set[str] = set()
+        #: Return expressions (for summary computation).
+        self.returns: list[ast.AST] = []
+        self._scan()
+
+    def _scan(self) -> None:
+        node = self.info.node
+        for stmt in ast.walk(node):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt is not node:
+                continue
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                self.returns.append(stmt.value)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._note_assignment(target.id, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self._note_assignment(stmt.target.id, stmt.value)
+            elif isinstance(stmt, ast.AugAssign):
+                if isinstance(stmt.target, ast.Name):
+                    self._note_assignment(stmt.target.id, stmt.value)
+
+    def _note_assignment(self, name: str, value: ast.AST) -> None:
+        taints = self.direct_taints(value)
+        if taints:
+            self.var_taints.setdefault(name, {}).update(taints)
+        if _returns_bare_set(value):
+            self.set_vars.add(name)
+
+    def direct_taints(self, expr: ast.AST) -> dict[str, Witness]:
+        """Taints from sources and tainted names syntactically in *expr*."""
+        found: dict[str, Witness] = {}
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                source = classify_source_call(node)
+                if source is not None:
+                    kind, detail = source
+                    found.setdefault(
+                        kind, Witness(kind, detail, self.path, node.lineno)
+                    )
+            elif isinstance(node, ast.Name) and node.id in self.var_taints:
+                for kind, witness in self.var_taints[node.id].items():
+                    found.setdefault(kind, witness)
+        return found
+
+
+class TaintAnalysis:
+    """Whole-program taint summaries over a :class:`ProjectGraph`."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        self.scans: dict[str, _FunctionScan] = {}
+        self.summaries: dict[str, TaintSummary] = {}
+        for func in graph.iter_functions():
+            path = graph.modules[func.module].path
+            self.scans[func.qualname] = _FunctionScan(func, path)
+            self.summaries[func.qualname] = TaintSummary(returns={})
+        self._fixpoint()
+
+    # -- summary computation -------------------------------------------------
+
+    def _expr_taints(self, qualname: str, expr: ast.AST) -> tuple[dict[str, Witness], bool]:
+        """(taints, is-bare-set) for one expression in *qualname*."""
+        scan = self.scans[qualname]
+        taints = dict(scan.direct_taints(expr))
+        is_set = _returns_bare_set(expr) or (
+            isinstance(expr, ast.Name) and expr.id in scan.set_vars
+        )
+        func = self.graph.functions[qualname]
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self.graph.resolve(func.module, dotted(node.func))
+            summary = self.summaries.get(resolved) if resolved else None
+            if summary is not None:
+                for kind, witness in summary.returns.items():
+                    taints.setdefault(kind, witness)
+                if summary.returns_set and expr is node:
+                    is_set = True
+        return taints, is_set
+
+    def _fixpoint(self) -> None:
+        changed = True
+        rounds = 0
+        while changed and rounds < 50:
+            changed = False
+            rounds += 1
+            for qualname in sorted(self.scans):
+                scan = self.scans[qualname]
+                summary = self.summaries[qualname]
+                # Re-derive variable taints including callee summaries.
+                for stmt in ast.walk(scan.info.node):
+                    if isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                taints, is_set = self._expr_taints(qualname, stmt.value)
+                                bucket = scan.var_taints.setdefault(target.id, {})
+                                for kind, witness in taints.items():
+                                    if kind not in bucket:
+                                        bucket[kind] = witness
+                                        changed = True
+                                if is_set and target.id not in scan.set_vars:
+                                    scan.set_vars.add(target.id)
+                                    changed = True
+                for expr in scan.returns:
+                    taints, is_set = self._expr_taints(qualname, expr)
+                    for kind, witness in taints.items():
+                        if kind not in summary.returns:
+                            summary.returns[kind] = witness
+                            changed = True
+                    if is_set and not summary.returns_set:
+                        summary.returns_set = True
+                        changed = True
+
+    # -- queries -------------------------------------------------------------
+
+    def call_taints(self, module: str, call: ast.Call) -> dict[str, Witness]:
+        """Taints a call site pulls in via its (resolved) callee summary."""
+        resolved = self.graph.resolve(module, dotted(call.func))
+        if resolved is None:
+            return {}
+        summary = self.summaries.get(resolved)
+        return dict(summary.returns) if summary else {}
+
+    def call_returns_set(self, module: str, call: ast.Call) -> bool:
+        """True when the resolved callee can return a bare set."""
+        resolved = self.graph.resolve(module, dotted(call.func))
+        if resolved is None:
+            return False
+        summary = self.summaries.get(resolved)
+        return bool(summary and summary.returns_set)

@@ -1,0 +1,404 @@
+"""Unit-dimension inference for the RL200 family.
+
+The per-file unit rule (RL004) catches magic conversion *factors*; what it
+cannot catch is dimensional nonsense built entirely from blessed helpers:
+``elapsed_seconds + network_bytes``, ``to_gflops(to_gflops(x))``, or a
+``seconds * seconds`` slip inside a rate helper.  This module infers a
+**dimension** for expressions — an exponent vector over the simulator's
+base quantities (seconds, bytes, flops, joules) — and reports:
+
+* mixed-dimension ``+``/``-``/comparisons (seconds vs bytes);
+* arguments of ``repro.units`` helpers whose inferred dimension
+  contradicts the helper's signature (including *double conversions*:
+  feeding an already-converted display value back into a converter).
+
+Dimensions enter the lattice three ways:
+
+1. ``repro.units`` call results (``gbyte_s(...)`` is bytes/second);
+2. name conventions on variables, parameters, and attribute tails
+   (``*_seconds``, ``*_bytes``, ``*_flops``, ``*_joules``, ``*_watts``,
+   ``*_bytes_per_s``, ``*_flops_per_s``) — the project's signature
+   annotation style;
+3. interprocedural return summaries: a project function whose returns all
+   carry one dimension gives that dimension to its call sites.
+
+Unknown stays unknown (``None``) and never produces a finding: the
+analysis only reports contradictions between two *known* dimensions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.graph import FunctionInfo, ProjectGraph, dotted
+
+#: A dimension is an exponent vector over (seconds, bytes, flops, joules).
+Dim = tuple[int, int, int, int]
+
+DIMLESS: Dim = (0, 0, 0, 0)
+SECONDS: Dim = (1, 0, 0, 0)
+BYTES: Dim = (0, 1, 0, 0)
+FLOPS: Dim = (0, 0, 1, 0)
+JOULES: Dim = (0, 0, 0, 1)
+BYTES_PER_S: Dim = (-1, 1, 0, 0)
+FLOPS_PER_S: Dim = (-1, 0, 1, 0)
+WATTS: Dim = (-1, 0, 0, 1)
+HERTZ: Dim = (-1, 0, 0, 0)
+
+#: Sentinel for "converted display value" (the output of a ``to_*`` helper):
+#: dimensionless for arithmetic, but feeding it back into a converter is a
+#: double conversion.
+DISPLAY = "display"
+
+_NAMES = {
+    DIMLESS: "dimensionless",
+    SECONDS: "seconds",
+    BYTES: "bytes",
+    FLOPS: "flops",
+    JOULES: "joules",
+    BYTES_PER_S: "bytes/s",
+    FLOPS_PER_S: "flops/s",
+    WATTS: "watts",
+    HERTZ: "Hz",
+    (1, 1, 0, 0): "byte-seconds",
+    (2, 0, 0, 0): "seconds^2",
+}
+
+
+def dim_name(dim: "Dim | str | None") -> str:
+    """Human name for a dimension (falls back to the exponent vector)."""
+    if dim is None:
+        return "unknown"
+    if dim == DISPLAY:
+        return "a converted display value"
+    if dim in _NAMES:
+        return _NAMES[dim]
+    return f"s^{dim[0]}·B^{dim[1]}·flop^{dim[2]}·J^{dim[3]}"
+
+
+#: repro.units helper signatures: name -> (arg dims, return dim).  ``None``
+#: in an argument slot means "dimensionless scale expected"; the checker
+#: flags a *known non-dimensionless* argument there as a double conversion.
+UNITS_SIGNATURES: dict[str, tuple[tuple[object, ...], object]] = {
+    "kib": ((DIMLESS,), BYTES),
+    "mib": ((DIMLESS,), BYTES),
+    "gib": ((DIMLESS,), BYTES),
+    "doubles": ((DIMLESS,), BYTES),
+    "bits": ((DIMLESS,), BYTES),
+    "to_bits": ((BYTES,), DISPLAY),
+    "gbit_s": ((DIMLESS,), BYTES_PER_S),
+    "gbyte_s": ((DIMLESS,), BYTES_PER_S),
+    "to_gbit_s": ((BYTES_PER_S,), DISPLAY),
+    "to_gbyte_s": ((BYTES_PER_S,), DISPLAY),
+    "gflops": ((DIMLESS,), FLOPS_PER_S),
+    "to_gflops": ((FLOPS_PER_S,), DISPLAY),
+    "mflops_per_watt": ((FLOPS_PER_S, WATTS), DISPLAY),
+    "ms": ((DIMLESS,), SECONDS),
+    "us": ((DIMLESS,), SECONDS),
+    "to_us": ((SECONDS,), DISPLAY),
+    "to_ms": ((SECONDS,), DISPLAY),
+    "ghz": ((DIMLESS,), HERTZ),
+    "mhz": ((DIMLESS,), HERTZ),
+    "to_ghz": ((HERTZ,), DISPLAY),
+}
+
+#: Module paths whose attributes are units helpers.
+_UNITS_MODULES = {"units", "repro.units"}
+
+#: Dimensionless named constants from repro.units.
+_UNITS_CONSTANTS = {
+    "KB", "MB", "GB", "KILO", "MEGA", "GIGA", "DOUBLE_BYTES", "BITS_PER_BYTE",
+}
+
+#: Name-convention suffixes -> dimension (checked on variable names,
+#: parameter names, and attribute tails; longest suffix wins).
+_SUFFIX_DIMS: tuple[tuple[str, Dim], ...] = (
+    ("bytes_per_s", BYTES_PER_S),
+    ("flops_per_s", FLOPS_PER_S),
+    ("seconds", SECONDS),
+    ("joules", JOULES),
+    ("watts", WATTS),
+    ("bytes", BYTES),
+    ("flops", FLOPS),
+)
+
+#: ``*_flops`` names with these head words are *rates*: the HPC reading of
+#: "FLOPS" (``peak_dp_flops``, ``throughput_flops``).  Other ``*_flops``
+#: names (``gpu_flops``) are operation counts — ambiguous, so uninfferred.
+_RATE_PREFIXES = ("peak", "throughput", "attainable", "sustained")
+
+
+def convention_dim(name: str) -> Dim | None:
+    """Dimension implied by a naming convention, or None."""
+    for suffix, dim in _SUFFIX_DIMS:
+        if name == suffix or name.endswith("_" + suffix):
+            if suffix == "flops":
+                words = name[: -len(suffix)].strip("_").split("_")
+                if any(p in words for p in _RATE_PREFIXES):
+                    return FLOPS_PER_S
+                return None
+            return dim
+    return None
+
+
+def units_signature(fn: str) -> tuple[tuple[object, ...], object] | None:
+    """The (args, return) signature when *fn* names a units helper."""
+    parts = fn.split(".")
+    leaf = parts[-1]
+    if leaf not in UNITS_SIGNATURES:
+        return None
+    if len(parts) == 1:
+        # Bare name: blessed only when imported from repro.units; assume so
+        # (the names are distinctive enough in this codebase).
+        return UNITS_SIGNATURES[leaf]
+    prefix = ".".join(parts[:-1])
+    if prefix.split(".")[-1] in ("units",) or prefix in _UNITS_MODULES:
+        return UNITS_SIGNATURES[leaf]
+    return None
+
+
+def _mul(a: Dim, b: Dim) -> Dim:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3])
+
+
+def _div(a: Dim, b: Dim) -> Dim:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3])
+
+
+class Mismatch:
+    """One dimensional contradiction, pre-localized."""
+
+    __slots__ = ("node", "message")
+
+    def __init__(self, node: ast.AST, message: str) -> None:
+        self.node = node
+        self.message = message
+
+
+class DimensionAnalysis:
+    """Infer dimensions across the project; collect contradictions."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        #: qualname -> inferred return dimension (Dim | DISPLAY | None).
+        self.return_dims: dict[str, object] = {}
+        self._infer_return_dims()
+
+    # -- interprocedural summaries -------------------------------------------
+
+    def _infer_return_dims(self) -> None:
+        for _ in range(4):  # summaries converge in a few rounds
+            changed = False
+            for func in self.graph.iter_functions():
+                dims = set()
+                checker = _FunctionChecker(self, func, collect=False)
+                for ret in checker.return_exprs():
+                    dim = checker.expr_dim(ret)
+                    dims.add(dim)
+                dims.discard(None)
+                new = dims.pop() if len(dims) == 1 else None
+                if new is not None and self.return_dims.get(func.qualname) != new:
+                    self.return_dims[func.qualname] = new
+                    changed = True
+            if not changed:
+                break
+
+    # -- findings ------------------------------------------------------------
+
+    def check_function(self, func: FunctionInfo) -> Iterator[Mismatch]:
+        """Every dimensional contradiction inside *func*."""
+        checker = _FunctionChecker(self, func, collect=True)
+        checker.run()
+        yield from checker.mismatches
+
+
+class _FunctionChecker:
+    """Intraprocedural inference over one function body."""
+
+    def __init__(self, analysis: DimensionAnalysis, func: FunctionInfo,
+                 collect: bool) -> None:
+        self.analysis = analysis
+        self.func = func
+        self.collect = collect
+        self.mismatches: list[Mismatch] = []
+        self.var_dims: dict[str, object] = {}
+        self._seed_parameters()
+        self._seed_assignments()
+
+    def _seed_parameters(self) -> None:
+        args = self.func.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            dim = convention_dim(arg.arg)
+            if dim is not None:
+                self.var_dims[arg.arg] = dim
+
+    def _seed_assignments(self) -> None:
+        # Two passes so a chain of assignments settles.
+        for _ in range(2):
+            for stmt in self._own_statements():
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            dim = self.expr_dim(stmt.value)
+                            if dim is not None:
+                                self.var_dims[target.id] = dim
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    if isinstance(stmt.target, ast.Name):
+                        dim = self.expr_dim(stmt.value)
+                        if dim is not None:
+                            self.var_dims[stmt.target.id] = dim
+
+    def _own_statements(self) -> Iterator[ast.AST]:
+        root = self.func.node
+        stack: list[ast.AST] = list(root.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def return_exprs(self) -> Iterator[ast.AST]:
+        for node in self._own_statements():
+            if isinstance(node, ast.Return) and node.value is not None:
+                yield node.value
+
+    # -- inference -----------------------------------------------------------
+
+    def expr_dim(self, node: ast.AST) -> object:
+        """Dim | DISPLAY | None for one expression (no findings emitted)."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+                return None
+            return DIMLESS
+        if isinstance(node, ast.Name):
+            if node.id in self.var_dims:
+                return self.var_dims[node.id]
+            if node.id in _UNITS_CONSTANTS:
+                return DIMLESS
+            return convention_dim(node.id)
+        if isinstance(node, ast.Attribute):
+            full = dotted(node)
+            if full is not None:
+                leaf = full.split(".")[-1]
+                if leaf in _UNITS_CONSTANTS:
+                    return DIMLESS
+                return convention_dim(leaf)
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_dim(node.operand)
+        if isinstance(node, ast.Subscript):
+            # Indexing a conventionally-named container keeps its dimension
+            # (``comm_seconds[rank]`` is still seconds).
+            return self.expr_dim(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_dim(node)
+        if isinstance(node, ast.BinOp):
+            left = self.expr_dim(node.left)
+            right = self.expr_dim(node.right)
+            if isinstance(node.op, (ast.Mult, ast.Div)):
+                if left == DISPLAY or right == DISPLAY:
+                    return None
+                if left is None or right is None:
+                    return None
+                op = _mul if isinstance(node.op, ast.Mult) else _div
+                return op(left, right)  # type: ignore[arg-type]
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                return left if left not in (None, DISPLAY) else (
+                    right if right not in (None, DISPLAY) else None
+                )
+            return None
+        if isinstance(node, ast.IfExp):
+            body = self.expr_dim(node.body)
+            return body if body is not None else self.expr_dim(node.orelse)
+        return None
+
+    def _call_dim(self, node: ast.Call) -> object:
+        fn = dotted(node.func)
+        if fn is None:
+            return None
+        signature = units_signature(fn)
+        if signature is not None:
+            return signature[1]
+        if fn in ("abs", "min", "max", "sum", "round"):
+            for arg in node.args:
+                dim = self.expr_dim(arg)
+                if dim is not None:
+                    return dim
+            return None
+        resolved = self.analysis.graph.resolve(self.func.module, fn)
+        if resolved is not None:
+            return self.analysis.return_dims.get(resolved)
+        return None
+
+    # -- contradiction collection ---------------------------------------------
+
+    def run(self) -> None:
+        for node in self._own_statements():
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_additive(node)
+            elif isinstance(node, ast.Compare):
+                self._check_compare(node)
+            elif isinstance(node, ast.Call):
+                self._check_units_call(node)
+
+    def _known(self, dim: object) -> bool:
+        return dim is not None and dim != DISPLAY and dim != DIMLESS
+
+    def _check_additive(self, node: ast.BinOp) -> None:
+        left = self.expr_dim(node.left)
+        right = self.expr_dim(node.right)
+        if self._known(left) and self._known(right) and left != right:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self.mismatches.append(Mismatch(
+                node,
+                f"mixed-dimension arithmetic: {dim_name(left)} {op} "
+                f"{dim_name(right)}",
+            ))
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for left_node, right_node in zip(operands, operands[1:]):
+            left = self.expr_dim(left_node)
+            right = self.expr_dim(right_node)
+            if self._known(left) and self._known(right) and left != right:
+                self.mismatches.append(Mismatch(
+                    node,
+                    f"mixed-dimension comparison: {dim_name(left)} vs "
+                    f"{dim_name(right)}",
+                ))
+
+    def _check_units_call(self, node: ast.Call) -> None:
+        fn = dotted(node.func)
+        if fn is None:
+            return
+        signature = units_signature(fn)
+        if signature is None:
+            return
+        expected_args, _ = signature
+        for expected, arg in zip(expected_args, node.args):
+            actual = self.expr_dim(arg)
+            if actual is None:
+                continue
+            if expected == DIMLESS:
+                if actual == DISPLAY or self._known(actual):
+                    self.mismatches.append(Mismatch(
+                        node,
+                        f"double conversion: {fn}() expects a plain scale "
+                        f"factor but its argument is already "
+                        f"{dim_name(actual)}",
+                    ))
+            elif actual == DISPLAY:
+                self.mismatches.append(Mismatch(
+                    node,
+                    f"double conversion: {fn}() applied to an "
+                    f"already-converted display value",
+                ))
+            elif self._known(actual) and actual != expected:
+                self.mismatches.append(Mismatch(
+                    node,
+                    f"unit mismatch: {fn}() expects {dim_name(expected)} "
+                    f"but its argument is {dim_name(actual)}",
+                ))

@@ -1,10 +1,20 @@
-"""The lint engine: rule registry, suppressions, and the file walker.
+"""The lint engine: rule registry, suppressions, caching, and the walkers.
 
-A rule is a subclass of :class:`Rule` registered with :func:`register`.  The
-engine parses each Python file once, hands the shared :class:`FileContext`
-to every enabled rule, collects :class:`Finding`\\ s, and drops those
-suppressed by an inline ``# repro: noqa[RLxxx]`` comment on the same line
-(bare ``# repro: noqa`` suppresses every rule on that line).
+Two rule flavours share one registry:
+
+* a per-file :class:`Rule` parses one file at a time (the RL001–RL007
+  pack);
+* a :class:`ProjectRule` sees the whole program at once through a
+  :class:`ProjectContext` — symbol table, import/call graph, taint and
+  dimension analyses — and powers the RL100–RL400 families.
+
+``lint_project`` is the full pipeline: per-file rules served from the
+fingerprint-keyed incremental cache under ``.repro-cache/lint/``, the
+interprocedural pass cached on the whole-project digest, inline
+``noqa[RLxxx]`` suppressions (with per-rule usage statistics and
+stale-suppression detection), and the committed baseline of accepted
+findings.  ``lint_source``/``lint_paths`` remain as the simple front
+doors used by tests and tooling.
 """
 
 from __future__ import annotations
@@ -12,7 +22,7 @@ from __future__ import annotations
 import abc
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -20,7 +30,7 @@ from repro.errors import ConfigurationError
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, Severity
 
-#: ``# repro: noqa`` or ``# repro: noqa[RL001]`` or ``...[RL001, RL004]``.
+#: Matches the inline suppression marker, bare or with ``[RL001, RL004]``.
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>\s*RL\d+(?:\s*,\s*RL\d+)*\s*)\])?"
 )
@@ -43,8 +53,60 @@ class FileContext:
         return any(fragment in posix for fragment in fragments)
 
 
+class ProjectContext:
+    """The whole-program view shared by every :class:`ProjectRule`.
+
+    The graph and the (expensive) taint/dimension analyses are built
+    lazily and memoized, so a run with the interprocedural families
+    disabled never pays for them.
+    """
+
+    def __init__(self, files: Iterable[FileContext]) -> None:
+        self.files: tuple[FileContext, ...] = tuple(files)
+        self._graph = None
+        self._taints = None
+        self._dimensions = None
+
+    @property
+    def graph(self):
+        """The :class:`~repro.lint.graph.ProjectGraph` over all files."""
+        if self._graph is None:
+            from repro.lint.graph import build_graph
+
+            self._graph = build_graph((f.path, f.tree) for f in self.files)
+        return self._graph
+
+    @property
+    def taints(self):
+        """The interprocedural :class:`~repro.lint.dataflow.TaintAnalysis`."""
+        if self._taints is None:
+            from repro.lint.dataflow import TaintAnalysis
+
+            self._taints = TaintAnalysis(self.graph)
+        return self._taints
+
+    @property
+    def dimensions(self):
+        """The :class:`~repro.lint.dimensions.DimensionAnalysis`."""
+        if self._dimensions is None:
+            from repro.lint.dimensions import DimensionAnalysis
+
+            self._dimensions = DimensionAnalysis(self.graph)
+        return self._dimensions
+
+    def context_for(self, module: str) -> FileContext | None:
+        """The file context holding *module*, if any."""
+        info = self.graph.modules.get(module)
+        if info is None:
+            return None
+        for ctx in self.files:
+            if ctx.path == info.path:
+                return ctx
+        return None
+
+
 class Rule(abc.ABC):
-    """One statically-checkable invariant.
+    """One statically-checkable per-file invariant.
 
     Class attributes document the rule for ``--list-rules`` and LINT.md;
     :meth:`check` yields findings against a parsed file.
@@ -74,11 +136,37 @@ class Rule(abc.ABC):
         )
 
 
-#: The global registry: rule id -> rule instance.
-RULES: dict[str, Rule] = {}
+class ProjectRule(abc.ABC):
+    """One whole-program invariant, checked once over the project."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+
+    @abc.abstractmethod
+    def check_project(
+        self, project: ProjectContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Yield every violation of this rule across *project*."""
+
+    def finding_at(self, path: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at *node* inside *path*."""
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
 
 
-def register(cls: type[Rule]) -> type[Rule]:
+#: The global registry: rule id -> rule instance (both flavours).
+RULES: dict[str, Rule | ProjectRule] = {}
+
+
+def register(cls):
     """Class decorator adding a rule to the registry (id must be unique)."""
     rule = cls()
     if not re.fullmatch(r"RL\d{3}", rule.rule_id):
@@ -87,6 +175,16 @@ def register(cls: type[Rule]) -> type[Rule]:
         raise ConfigurationError(f"duplicate rule id {rule.rule_id}")
     RULES[rule.rule_id] = rule
     return cls
+
+
+def per_file_rules() -> list[str]:
+    """Registered per-file rule ids, sorted."""
+    return sorted(r for r in RULES if isinstance(RULES[r], Rule))
+
+
+def project_rules() -> list[str]:
+    """Registered whole-program rule ids, sorted."""
+    return sorted(r for r in RULES if isinstance(RULES[r], ProjectRule))
 
 
 def suppressions(source: str) -> dict[int, set[str]]:
@@ -106,16 +204,118 @@ def suppressions(source: str) -> dict[int, set[str]]:
     return table
 
 
-def _apply_suppressions(
-    findings: Iterable[Finding], table: dict[int, set[str]]
-) -> list[Finding]:
-    kept = []
+@dataclass
+class SuppressionStats:
+    """How the inline ``noqa`` population was exercised by one run."""
+
+    #: rule id -> number of findings an inline noqa suppressed.
+    used: dict[str, int] = field(default_factory=dict)
+    #: (path, line, rule-or-``*``) noqa entries that matched no finding.
+    stale: list[tuple[str, int, str]] = field(default_factory=list)
+
+    def merge(self, other: "SuppressionStats") -> None:
+        for rule, count in other.used.items():
+            self.used[rule] = self.used.get(rule, 0) + count
+        self.stale.extend(other.stale)
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    tables: dict[str, dict[int, set[str]]],
+) -> tuple[list[Finding], SuppressionStats]:
+    """Drop suppressed findings; account for usage and staleness.
+
+    *tables* maps file path -> the file's :func:`suppressions` table.  A
+    noqa entry that suppressed nothing is *stale* — the code it excused
+    has moved or been fixed — and is reported so suppressions cannot
+    quietly outlive their justification.
+    """
+    stats = SuppressionStats()
+    kept: list[Finding] = []
+    hit: set[tuple[str, int, str]] = set()
     for finding in findings:
+        table = tables.get(finding.path, {})
         suppressed = table.get(finding.line, ())
-        if ALL_RULES in suppressed or finding.rule in suppressed:
-            continue
-        kept.append(finding)
-    return kept
+        if ALL_RULES in suppressed:
+            stats.used[finding.rule] = stats.used.get(finding.rule, 0) + 1
+            hit.add((finding.path, finding.line, ALL_RULES))
+        elif finding.rule in suppressed:
+            stats.used[finding.rule] = stats.used.get(finding.rule, 0) + 1
+            hit.add((finding.path, finding.line, finding.rule))
+        else:
+            kept.append(finding)
+    for path in sorted(tables):
+        for line in sorted(tables[path]):
+            for rule in sorted(tables[path][line]):
+                if (path, line, rule) not in hit:
+                    stats.stale.append((path, line, rule))
+    return kept, stats
+
+
+@dataclass
+class LintResult:
+    """Everything one full lint run produced."""
+
+    findings: list[Finding]
+    suppressions: SuppressionStats
+    #: Findings accepted by the committed baseline (dropped from findings).
+    baselined: int = 0
+    #: Baseline entries that matched nothing this run.
+    stale_baseline: list[str] = field(default_factory=list)
+    #: Incremental-cache accounting for this run.
+    files_total: int = 0
+    files_from_cache: int = 0
+    project_from_cache: bool = False
+    cache_enabled: bool = False
+
+    @property
+    def cache_status(self) -> str:
+        """One-line cache summary (stable wording, greppable in CI)."""
+        if not self.cache_enabled:
+            return "lint cache: disabled"
+        state = "warm" if self.project_from_cache else "cold"
+        return (
+            f"lint cache: {state} "
+            f"({self.files_from_cache}/{self.files_total} files cached, "
+            f"interprocedural pass "
+            f"{'cached' if self.project_from_cache else 'recomputed'})"
+        )
+
+
+def _check_file(ctx: FileContext, config: LintConfig) -> list[Finding]:
+    """Raw per-file findings (pre-suppression) for one parsed file."""
+    findings: list[Finding] = []
+    for rule_id in per_file_rules():
+        if config.enabled(rule_id):
+            findings.extend(RULES[rule_id].check(ctx, config))
+    return findings
+
+
+def _check_project(project: ProjectContext, config: LintConfig) -> list[Finding]:
+    """Raw whole-program findings (pre-suppression, deduplicated).
+
+    A call site inside a nested function is visible from both the outer
+    and the inner FunctionInfo walk; identical findings collapse here.
+    """
+    findings: list[Finding] = []
+    for rule_id in project_rules():
+        if config.enabled(rule_id):
+            findings.extend(RULES[rule_id].check_project(project, config))
+    return list(dict.fromkeys(findings))
+
+
+def _parse(source: str, path: str) -> FileContext | Finding:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            rule="RL000",
+            message=f"file does not parse: {exc.msg}",
+        )
+    return FileContext(path=path, source=source, tree=tree)
 
 
 def lint_source(
@@ -123,26 +323,18 @@ def lint_source(
     path: str = "<memory>",
     config: LintConfig | None = None,
 ) -> list[Finding]:
-    """Lint one source string; *path* drives the path-scoped rules."""
+    """Lint one source string; *path* drives the path-scoped rules.
+
+    Runs both rule flavours (the file is its own one-module project), so
+    single-file snippets exercise the interprocedural families too.
+    """
     config = config or LintConfig()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                rule="RL000",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(path=path, source=source, tree=tree)
-    findings: list[Finding] = []
-    for rule_id in sorted(RULES):
-        if config.enabled(rule_id):
-            findings.extend(RULES[rule_id].check(ctx, config))
-    findings = _apply_suppressions(findings, suppressions(source))
+    parsed = _parse(source, path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    findings = _check_file(parsed, config)
+    findings.extend(_check_project(ProjectContext([parsed]), config))
+    findings, _ = apply_suppressions(findings, {path: suppressions(source)})
     return sorted(findings, key=Finding.sort_key)
 
 
@@ -158,13 +350,101 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
             raise ConfigurationError(f"no such file or directory: {path}")
 
 
+def lint_project(
+    paths: Iterable[Path | str],
+    config: LintConfig | None = None,
+    use_cache: bool = True,
+) -> LintResult:
+    """The full pipeline over every Python file under *paths*.
+
+    Per-file findings are served from the incremental cache when the
+    file's content (and the analysis fingerprint) is unchanged; the
+    interprocedural pass is cached on the whole-project digest.  Inline
+    suppressions and the configured baseline are applied *after* caching,
+    so cached entries stay valid when only a noqa or the baseline moves.
+    """
+    from repro.lint.baseline import apply_baseline, load_baseline
+    from repro.lint.cache import LintCache, file_digest, project_digest
+
+    config = config or LintConfig()
+    cache = LintCache.open(config) if use_cache else None
+
+    files: list[tuple[str, str, str]] = []  # (path, source, digest)
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        files.append((file.as_posix(), source, file_digest(file.as_posix(), source)))
+
+    result = LintResult(
+        findings=[],
+        suppressions=SuppressionStats(),
+        files_total=len(files),
+        cache_enabled=cache is not None,
+    )
+
+    raw: list[Finding] = []
+    parsed: dict[str, FileContext] = {}
+    parse_failures: set[str] = set()
+
+    def ensure_parsed(path: str, source: str) -> FileContext | None:
+        if path in parsed:
+            return parsed[path]
+        if path in parse_failures:
+            return None
+        outcome = _parse(source, path)
+        if isinstance(outcome, Finding):
+            parse_failures.add(path)
+            return None
+        parsed[path] = outcome
+        return outcome
+
+    # Per-file pass, incremental.
+    for path, source, digest in files:
+        cached = cache.get_file(digest) if cache is not None else None
+        if cached is not None:
+            result.files_from_cache += 1
+            raw.extend(cached)
+            if any(f.rule == "RL000" for f in cached):
+                parse_failures.add(path)
+            continue
+        ctx = ensure_parsed(path, source)
+        if ctx is None:
+            file_findings = [_parse(source, path)]  # the RL000 finding
+        else:
+            file_findings = _check_file(ctx, config)
+        raw.extend(file_findings)
+        if cache is not None:
+            cache.put_file(digest, file_findings)
+
+    # Whole-program pass, cached on the project digest.
+    proj_digest = project_digest(f[2] for f in files)
+    cached_project = cache.get_project(proj_digest) if cache is not None else None
+    if cached_project is not None:
+        result.project_from_cache = True
+        raw.extend(cached_project)
+    else:
+        contexts = [
+            ctx
+            for path, source, _ in files
+            if (ctx := ensure_parsed(path, source)) is not None
+        ]
+        project_findings = _check_project(ProjectContext(contexts), config)
+        raw.extend(project_findings)
+        if cache is not None:
+            cache.put_project(proj_digest, project_findings)
+
+    tables = {path: suppressions(source) for path, source, _ in files}
+    kept, result.suppressions = apply_suppressions(raw, tables)
+
+    baseline = load_baseline(config)
+    kept, result.baselined, result.stale_baseline = apply_baseline(kept, baseline)
+
+    result.findings = sorted(kept, key=Finding.sort_key)
+    return result
+
+
 def lint_paths(
     paths: Iterable[Path | str],
     config: LintConfig | None = None,
 ) -> list[Finding]:
     """Lint every Python file under *paths*; findings in stable order."""
-    findings: list[Finding] = []
-    for file in iter_python_files(paths):
-        source = file.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, path=file.as_posix(), config=config))
-    return sorted(findings, key=Finding.sort_key)
+    return lint_project(paths, config=config).findings

@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+CI systems ingest for code-scanning annotations; emitting it makes the
+whole-program findings reviewable inline on a pull request without any
+bespoke tooling.  The document is deterministic — sorted keys, findings
+in the engine's stable order, no timestamps — so cold and warm runs are
+byte-identical and the artifact diffs cleanly between builds.
+
+Only the subset of SARIF the findings carry is emitted: one run, one
+tool driver with the full rule catalogue, one result per finding with a
+physical location.  Severities map ``error`` -> ``"error"`` and
+``warning`` -> ``"warning"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": "error" if rule.severity is Severity.ERROR else "warning",
+        },
+    }
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": "error" if finding.severity is Severity.ERROR else "warning",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; findings carry 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """The findings as a deterministic SARIF 2.1.0 document."""
+    from repro.lint.engine import RULES
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/LINT.md",
+                        "rules": [
+                            _rule_descriptor(RULES[rule_id])
+                            for rule_id in sorted(RULES)
+                        ],
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

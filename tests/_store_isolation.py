@@ -1,0 +1,28 @@
+"""Session-scoped ResultStore isolation, shared across test tiers.
+
+Both the tier-1 suite (``tests/``) and the benchmark tier
+(``benchmarks/``) must stay hermetic: never read a developer's warm
+``.repro-cache/`` and never leave one behind in the repo.  Each tier's
+``conftest.py`` imports the fixture from here instead of carrying its own
+copy::
+
+    from tests._store_isolation import _isolated_result_store  # noqa: F401
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    """Point the persistent result store at a throwaway directory."""
+    from repro.campaign.store import reset_default_store
+
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    reset_default_store()
+    yield
+    os.environ.pop("REPRO_CACHE_DIR", None)
+    reset_default_store()

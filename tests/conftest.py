@@ -5,25 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.hardware import catalog
-
-
-@pytest.fixture(autouse=True, scope="session")
-def _isolated_result_store(tmp_path_factory):
-    """Point the persistent result store at a throwaway directory.
-
-    Keeps the suite hermetic: tests never read a developer's warm
-    ``.repro-cache/`` and never leave one behind in the repo.
-    """
-    import os
-
-    from repro.campaign.store import reset_default_store
-
-    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
-    reset_default_store()
-    yield
-    os.environ.pop("REPRO_CACHE_DIR", None)
-    reset_default_store()
 from repro.hardware.node import Node
+from tests._store_isolation import _isolated_result_store  # noqa: F401
 from repro.network import Fabric, SwitchSpec
 from repro.sim import Environment
 

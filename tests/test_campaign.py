@@ -349,3 +349,74 @@ def test_cli_sweep_rejects_conflicting_sources(tmp_path, capsys):
     code = main(["sweep", str(path), "--workloads", "jacobi"])
     assert code == 2
     assert "not both" in capsys.readouterr().err
+
+
+# -- UncacheableRunError fallback (ad-hoc rank values) ----------------------------
+
+
+def _inject_opaque_rank_value(monkeypatch):
+    """Make every simulation return a rank value JSON cannot represent."""
+    import repro.bench.runner as bench_runner
+
+    real = bench_runner._simulate
+
+    def patched(spec, workload, telemetry):
+        run = real(spec, workload, telemetry)
+        run.result.rank_values.append(object())
+        return run
+
+    monkeypatch.setattr(bench_runner, "_simulate", patched)
+
+
+def test_uncacheable_rank_values_fall_back_to_memory_tier(monkeypatch):
+    import os
+    from pathlib import Path
+
+    from repro.campaign.serialize import UncacheableRunError
+
+    _inject_opaque_rank_value(monkeypatch)
+    spec = RunSpec.normalize("jacobi", nodes=2, **JACOBI_SMALL)
+    first = run_spec(spec)
+    with pytest.raises(UncacheableRunError, match="rank_values"):
+        run_to_payload(first)
+    # The failed disk put must not leave a partial entry behind: a later
+    # process would otherwise revive a half-written run.
+    store_root = Path(os.environ["REPRO_CACHE_DIR"])
+    assert not list(store_root.rglob("run-*.json"))
+    second = run_spec(spec)
+    assert cache_stats()["memory_hits"] == 1  # served from the memory tier
+    assert second.result.elapsed_seconds == first.result.elapsed_seconds
+
+
+def test_uncacheable_runs_still_summarize_identically(monkeypatch):
+    from repro.campaign.serialize import summarize_run
+
+    _inject_opaque_rank_value(monkeypatch)
+    spec = RunSpec.normalize("jacobi", nodes=2, **JACOBI_SMALL)
+    cold = summarize_run(run_spec(spec))
+    warm = summarize_run(run_spec(spec))  # memory-tier hit
+    assert warm == cold  # same dict, bit for bit — table rows match
+    assert cache_stats()["memory_hits"] == 1
+
+
+def test_summary_rows_match_between_live_and_serialized_paths():
+    from repro.campaign.serialize import summarize_payload, summarize_run
+
+    run = run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    payload = run_to_payload(run)
+    assert summarize_run(run) == summarize_payload(payload)
+    # Floats repr-round-trip through JSON, so a disk-revived payload
+    # produces byte-identical rows to the live run.
+    revived = json.loads(json.dumps(payload))
+    assert summarize_payload(revived) == summarize_run(run)
+
+
+def test_disk_revived_run_summarizes_identically():
+    from repro.campaign.serialize import summarize_run
+
+    cold = run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    cold_row = summarize_run(cold)
+    clear_cache()  # drop the memory tier; keep the disk store
+    warm = run_workload("jacobi", nodes=2, **JACOBI_SMALL)
+    assert cache_stats()["disk_hits"] == 1
+    assert summarize_run(warm) == cold_row

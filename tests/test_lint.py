@@ -19,10 +19,12 @@ from repro.lint import (
     LintConfig,
     Severity,
     lint_paths,
+    lint_project,
     lint_source,
     load_config,
     parse_json,
     render_json,
+    render_sarif,
     render_text,
     suppressions,
 )
@@ -69,6 +71,32 @@ POSITIVE = {
         "    print('moving', nbytes)\n"
         "    return nbytes\n",
     ),
+    # Whole-program families (a one-file snippet is its own project).
+    "RL100": (
+        "src/repro/sim/toy.py",
+        "import time\n\n\n"
+        "def stamp():\n"
+        "    return time.time()\n\n\n"
+        "def step(env):\n"
+        "    return stamp()\n",
+    ),
+    "RL200": (
+        "src/repro/insight/toy.py",
+        "def total(elapsed_seconds, network_bytes):\n"
+        "    return elapsed_seconds + network_bytes\n",
+    ),
+    "RL300": (
+        "src/repro/campaign/toy.py",
+        "_CACHE = {}\n\n\n"
+        "def remember(key, value):\n"
+        "    _CACHE[key] = value\n"
+        "    return _CACHE[key]\n",
+    ),
+    "RL400": (
+        "src/repro/telemetry/toy.py",
+        "def run(telemetry):\n"
+        "    telemetry.span('compute')\n",
+    ),
 }
 
 NEGATIVE = {
@@ -114,6 +142,30 @@ NEGATIVE = {
         "def _cmd_run(args):\n"
         "    print('runtime:', 1.0)\n"
         "    return 0\n",
+    ),
+    "RL100": (
+        "src/repro/sim/toy.py",
+        "def base(x):\n"
+        "    return x + 1\n\n\n"
+        "def step(x):\n"
+        "    return base(x)\n",
+    ),
+    "RL200": (
+        "src/repro/insight/toy.py",
+        "def total(compute_seconds, comm_seconds):\n"
+        "    return compute_seconds + comm_seconds\n",
+    ),
+    "RL300": (
+        "src/repro/campaign/toy.py",
+        "_LIMITS = {'max': 4}\n\n\n"
+        "def limit(key):\n"
+        "    return dict(_LIMITS)[key]\n",
+    ),
+    "RL400": (
+        "src/repro/telemetry/toy.py",
+        "def run(telemetry):\n"
+        "    with telemetry.span('compute'):\n"
+        "        pass\n",
     ),
 }
 
@@ -408,6 +460,27 @@ def _write_fixture_tree(root: Path) -> None:
         "    yield from ctx.comm.send(None, dest=1, nbytes=nbytes)\n",  # RL003
         encoding="utf-8",
     )
+    flow = root / "flow"
+    flow.mkdir()
+    (flow / "bad_flow.py").write_text(
+        "import time\n\n\n"
+        "def stamp():\n"
+        "    return time.time()\n\n\n"                   # RL001 (source)
+        "def step(env):\n"
+        "    return stamp()\n\n\n"                       # RL100
+        "def total(elapsed_seconds, network_bytes):\n"
+        "    return elapsed_seconds + network_bytes\n\n\n"   # RL200
+        "def trace(telemetry):\n"
+        "    telemetry.span('phase')\n",                 # RL400
+        encoding="utf-8",
+    )
+    (flow / "bad_state.py").write_text(
+        "_CACHE = {}\n\n\n"                              # RL300 (mutated below)
+        "def remember(key, value):\n"
+        "    _CACHE[key] = value\n"
+        "    return _CACHE[key]\n",                      # RL300 (escaping ref)
+        encoding="utf-8",
+    )
 
 
 def test_cli_exit_zero_on_clean_tree(tmp_path, capsys):
@@ -493,6 +566,321 @@ def test_repro_cli_wires_lint_subcommand(tmp_path, capsys):
     code = repro_main(["lint", str(tmp_path / "clean.py"),
                        "--config", str(tmp_path / "pyproject.toml")])
     assert code == 0
+
+
+# ---------------------------------------------------------------------------
+# Whole-program regression tests: true positives the per-file pack misses
+# ---------------------------------------------------------------------------
+
+
+def _write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_rl100_flags_cross_file_wall_clock_with_witness(tmp_path):
+    # The wall-clock read lives in clock.py; step.py only calls stamp().
+    # Linting step.py alone (the old per-file view) finds nothing there;
+    # the whole-program pass names the call site AND the origin.
+    _write(tmp_path, "src/repro/util/clock.py",
+           "import time\n\n\ndef stamp():\n    return time.time()\n")
+    step = _write(tmp_path, "src/repro/sim/step.py",
+                  "from repro.util.clock import stamp\n\n\n"
+                  "def advance():\n    return stamp()\n")
+    solo = [f for f in lint_paths([step]) if f.rule == "RL100"]
+    assert solo == [], "per-file view must not resolve the import"
+    found = [f for f in lint_paths([tmp_path / "src"]) if f.rule == "RL100"]
+    assert len(found) == 1
+    assert found[0].path.endswith("step.py") and found[0].line == 5
+    assert "wall-clock read time.time" in found[0].message
+    assert "clock.py:5" in found[0].message  # the witness
+
+
+def test_rl100_flags_iteration_over_helper_returned_set(tmp_path):
+    _write(tmp_path, "src/repro/util/pick.py",
+           "def alive(nodes):\n    return set(nodes)\n")
+    _write(tmp_path, "src/repro/sim/sched.py",
+           "from repro.util.pick import alive\n\n\n"
+           "def order(nodes):\n"
+           "    for n in alive(nodes):\n"
+           "        yield n\n")
+    found = [f for f in lint_paths([tmp_path / "src"]) if f.rule == "RL100"]
+    assert len(found) == 1
+    assert found[0].path.endswith("sched.py")
+    assert "hash-dependent" in found[0].message
+
+
+def test_rl200_flags_cross_file_dimension_mismatch(tmp_path):
+    # duration() returns seconds (inferred from its own returns); adding
+    # bytes to its result two modules away is the contradiction.
+    _write(tmp_path, "src/repro/util/t.py",
+           "def duration(a_seconds, b_seconds):\n"
+           "    return a_seconds + b_seconds\n")
+    _write(tmp_path, "src/repro/insight/mix.py",
+           "from repro.util.t import duration\n\n\n"
+           "def broken(total_bytes, x_seconds, y_seconds):\n"
+           "    return total_bytes + duration(x_seconds, y_seconds)\n")
+    found = [f for f in lint_paths([tmp_path / "src"]) if f.rule == "RL200"]
+    assert len(found) == 1
+    assert found[0].path.endswith("mix.py")
+    assert "bytes + seconds" in found[0].message
+
+
+def test_rl200_flags_double_conversion():
+    src = (
+        "from repro.units import to_gflops\n\n\n"
+        "def report(throughput_flops):\n"
+        "    return to_gflops(to_gflops(throughput_flops))\n"
+    )
+    found = [f for f in lint_source(src, path="src/repro/insight/r.py")
+             if f.rule == "RL200"]
+    assert len(found) == 1
+    assert "already-converted" in found[0].message
+
+
+def test_rl300_scopes_to_worker_reachable_modules(tmp_path):
+    # state.py is imported by the worker entry point; colors.py is not.
+    _write(tmp_path, "src/repro/campaign/runner.py",
+           "from repro.campaign import state\n\n\n"
+           "def run_campaign():\n    return state.remember('k', 1)\n")
+    _write(tmp_path, "src/repro/campaign/state.py",
+           "_MEMO = {}\n\n\n"
+           "def remember(k, v):\n"
+           "    _MEMO[k] = v\n"
+           "    return _MEMO[k]\n")
+    _write(tmp_path, "src/repro/viz/colors.py",
+           "_PALETTE = []\n\n\ndef add(c):\n    _PALETTE.append(c)\n")
+    found = [f for f in lint_paths([tmp_path / "src"]) if f.rule == "RL300"]
+    assert found, "worker-reachable mutable state must be flagged"
+    assert all(f.path.endswith("state.py") for f in found)
+
+
+def test_rl400_accepts_bound_span_used_in_with():
+    src = (
+        "def run(telemetry):\n"
+        "    span = telemetry.span('compute')\n"
+        "    with span:\n"
+        "        pass\n"
+    )
+    assert lint_source(src, path="src/repro/telemetry/t.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache: cold vs warm byte-identity
+# ---------------------------------------------------------------------------
+
+
+def _dirty_tree_result(tmp_path):
+    _write_fixture_tree(tmp_path)
+    config = load_config(tmp_path / "pyproject.toml")
+    return lint_project([tmp_path], config=config)
+
+
+def test_lint_cache_warm_run_is_byte_identical(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cold = _dirty_tree_result(tmp_path)
+    assert cold.cache_enabled and not cold.project_from_cache
+    assert cold.files_from_cache == 0 and cold.files_total > 0
+    config = load_config(tmp_path / "pyproject.toml")
+    warm = lint_project([tmp_path], config=config)
+    assert warm.project_from_cache
+    assert warm.files_from_cache == warm.files_total == cold.files_total
+    assert warm.findings == cold.findings
+    assert render_json(warm.findings) == render_json(cold.findings)
+    assert render_sarif(warm.findings) == render_sarif(cold.findings)
+    assert "warm" in warm.cache_status and "cold" in cold.cache_status
+
+
+def test_lint_cache_invalidates_on_edit(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cold = _dirty_tree_result(tmp_path)
+    # Touch one file: its entry (and the project entry) must recompute,
+    # every other file stays cached.
+    target = tmp_path / "flow" / "bad_state.py"
+    target.write_text(target.read_text() + "\n# edited\n", encoding="utf-8")
+    config = load_config(tmp_path / "pyproject.toml")
+    warm = lint_project([tmp_path], config=config)
+    assert not warm.project_from_cache
+    assert warm.files_from_cache == cold.files_total - 1
+    assert warm.findings == cold.findings  # a comment changes nothing
+
+
+def test_lint_cache_disabled_by_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+    result = _dirty_tree_result(tmp_path)
+    assert not result.cache_enabled
+    assert result.cache_status == "lint cache: disabled"
+
+
+def test_lint_cache_flag_bypass(tmp_path, monkeypatch, capsys):
+    from repro.lint.cli import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    _write_fixture_tree(tmp_path)
+    config = str(tmp_path / "pyproject.toml")
+    assert main([str(tmp_path), "--config", config]) == 1
+    capsys.readouterr()
+    assert main([str(tmp_path), "--config", config, "--no-cache"]) == 1
+    assert "lint cache: disabled" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Suppression statistics
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_stats_count_used_and_stale(tmp_path):
+    _write(tmp_path, "src/repro/x.py",
+           "def check(x):\n"
+           "    if x < 0:\n"
+           "        raise ValueError('bad')  # repro: noqa[RL005]\n"
+           "    return x  # repro: noqa[RL001]\n")
+    result = lint_project([tmp_path / "src"], config=LintConfig())
+    assert result.findings == []
+    assert result.suppressions.used == {"RL005": 1}
+    assert len(result.suppressions.stale) == 1
+    path, line, rule = result.suppressions.stale[0]
+    assert path.endswith("x.py") and line == 4 and rule == "RL001"
+
+
+def test_cli_reports_suppression_stats_on_stderr(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    (tmp_path / "pyproject.toml").write_text("[tool.repro.lint]\n", encoding="utf-8")
+    _write(tmp_path, "f.py",
+           "def check(x):\n"
+           "    if x < 0:\n"
+           "        raise ValueError('bad')  # repro: noqa[RL005]\n"
+           "    return x  # repro: noqa[RL001]\n")
+    code = main([str(tmp_path / "f.py"),
+                 "--config", str(tmp_path / "pyproject.toml")])
+    captured = capsys.readouterr()
+    assert code == 0  # stale suppressions are a notice, not a failure
+    assert "suppressions used (RL005: 1)" in captured.err
+    assert "stale suppression" in captured.err and "RL001" in captured.err
+    assert "stale" not in captured.out  # report stream stays clean
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+def _baselined_tree(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint]\nbaseline = \"lint-baseline.json\"\n",
+        encoding="utf-8",
+    )
+    _write(tmp_path, "src/state.py",
+           "_CACHE = {}\n\n\n"
+           "def remember(key, value):\n"
+           "    _CACHE[key] = value\n"
+           "    return _CACHE[key]\n")
+    return load_config(tmp_path / "pyproject.toml")
+
+
+def test_update_baseline_then_clean(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    _baselined_tree(tmp_path)
+    config_path = str(tmp_path / "pyproject.toml")
+    target = str(tmp_path / "src")
+    assert main([target, "--config", config_path]) == 1  # dirty before
+    capsys.readouterr()
+    assert main([target, "--config", config_path, "--update-baseline"]) == 0
+    data = json.loads((tmp_path / "lint-baseline.json").read_text())
+    assert data["schema"] == 1 and len(data["entries"]) == 2
+    assert all(e["rule"] == "RL300" for e in data["entries"])
+    capsys.readouterr()
+    assert main([target, "--config", config_path]) == 0  # accepted now
+    captured = capsys.readouterr()
+    assert "baseline: 2 finding(s) accepted" in captured.err
+    assert captured.out.strip().endswith("0 findings")
+
+
+def test_baseline_matches_across_absolute_and_relative_paths(tmp_path):
+    config = _baselined_tree(tmp_path)
+    from repro.lint.baseline import baseline_path, load_baseline, write_baseline
+
+    dirty = lint_project([tmp_path / "src"], config=config)
+    write_baseline(baseline_path(config), dirty.findings)
+    clean = lint_project([(tmp_path / "src").resolve()], config=config)
+    assert clean.findings == [] and clean.baselined == 2
+    assert load_baseline(config).entries  # round-trips
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    config = _baselined_tree(tmp_path)
+    from repro.lint.baseline import baseline_path, write_baseline
+
+    dirty = lint_project([tmp_path / "src"], config=config)
+    write_baseline(baseline_path(config), dirty.findings)
+    # Fix the code: the baseline entries now match nothing.
+    _write(tmp_path, "src/state.py", "def remember(key, value):\n    return value\n")
+    result = lint_project([tmp_path / "src"], config=config)
+    assert result.findings == [] and result.baselined == 0
+    assert len(result.stale_baseline) == 2
+    assert all("RL300" in entry for entry in result.stale_baseline)
+
+
+def test_baseline_keeps_justifications_on_update(tmp_path):
+    config = _baselined_tree(tmp_path)
+    from repro.lint.baseline import (
+        baseline_path, load_baseline, write_baseline,
+    )
+
+    dirty = lint_project([tmp_path / "src"], config=config)
+    path = baseline_path(config)
+    write_baseline(path, dirty.findings)
+    doc = json.loads(path.read_text())
+    doc["entries"][0]["justification"] = "reviewed: deliberate memo"
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    write_baseline(path, dirty.findings, previous=load_baseline(config))
+    kept = json.loads(path.read_text())["entries"]
+    assert any(e["justification"] == "reviewed: deliberate memo" for e in kept)
+
+
+def test_baseline_rejects_malformed_file(tmp_path):
+    config = _baselined_tree(tmp_path)
+    (tmp_path / "lint-baseline.json").write_text("{not json", encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="not valid JSON"):
+        lint_project([tmp_path / "src"], config=config)
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------------
+
+
+def test_sarif_document_shape_and_determinism(tmp_path):
+    _write_fixture_tree(tmp_path)
+    config = load_config(tmp_path / "pyproject.toml")
+    findings = lint_paths([tmp_path], config=config)
+    assert findings
+    doc = json.loads(render_sarif(findings))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(RULES)
+    assert len(run["results"]) == len(findings)
+    first = run["results"][0]
+    region = first["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == findings[0].line
+    assert region["startColumn"] == findings[0].col + 1  # 1-based
+    assert render_sarif(findings) == render_sarif(list(findings))
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    from repro.lint.cli import main
+
+    _write_fixture_tree(tmp_path)
+    code = main([str(tmp_path), "--format", "sarif",
+                 "--config", str(tmp_path / "pyproject.toml")])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"]
 
 
 # ---------------------------------------------------------------------------
