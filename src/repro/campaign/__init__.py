@@ -6,18 +6,31 @@ The layer between one measurement and the paper's figures:
   hashable identity of one run (resolved workload kwargs, canonicalized
   cluster shape, source fingerprint);
 * :class:`~repro.campaign.store.ResultStore` — the on-disk JSON store
-  under ``.repro-cache/``, fingerprint-invalidated;
+  under ``.repro-cache/``, fingerprint-invalidated, checksummed and
+  self-healing;
 * :func:`~repro.campaign.runner.run_campaign` — shard a grid of specs
-  across worker processes and merge deterministically;
+  across worker processes under the
+  :class:`~repro.campaign.supervisor.CampaignSupervisor` (retries,
+  crash recovery, quarantine, journaled resume) and merge
+  deterministically;
+* :mod:`~repro.campaign.chaos` — seeded fault injection for proving the
+  recovery machinery converges to fault-free results;
 * ``python -m repro sweep`` — the CLI over all of it.
 
 See ``docs/CAMPAIGN.md``.
 """
 
+from repro.campaign.chaos import (
+    ChaosInjectedError,
+    ChaosSchedule,
+    corrupt_store_entry,
+)
 from repro.campaign.runner import (
     CampaignResult,
     CampaignRow,
     build_campaign,
+    execute_spec,
+    format_campaign_failures,
     format_campaign_stats,
     format_campaign_table,
     load_campaign_file,
@@ -25,26 +38,59 @@ from repro.campaign.runner import (
 )
 from repro.campaign.serialize import (
     UncacheableRunError,
+    payload_checksum,
     run_from_payload,
     run_to_payload,
     summarize_payload,
 )
 from repro.campaign.spec import RunSpec, build_cluster, code_fingerprint
 from repro.campaign.store import ResultStore, default_store, reset_default_store
+from repro.campaign.supervisor import (
+    COMPLETED_OUTCOMES,
+    OUTCOME_LOST_WORKER,
+    OUTCOME_OK,
+    OUTCOME_QUARANTINED,
+    OUTCOME_RETRIED,
+    CampaignJournal,
+    CampaignSupervisor,
+    RetryPolicy,
+    SpecRecord,
+    campaign_digest,
+)
+from repro.errors import CampaignError, SpecQuarantinedError, WorkerLostError
 
 __all__ = [
+    "COMPLETED_OUTCOMES",
+    "CampaignError",
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRow",
+    "CampaignSupervisor",
+    "ChaosInjectedError",
+    "ChaosSchedule",
+    "OUTCOME_LOST_WORKER",
+    "OUTCOME_OK",
+    "OUTCOME_QUARANTINED",
+    "OUTCOME_RETRIED",
     "ResultStore",
+    "RetryPolicy",
     "RunSpec",
+    "SpecQuarantinedError",
+    "SpecRecord",
     "UncacheableRunError",
+    "WorkerLostError",
     "build_campaign",
     "build_cluster",
+    "campaign_digest",
     "code_fingerprint",
+    "corrupt_store_entry",
     "default_store",
+    "execute_spec",
+    "format_campaign_failures",
     "format_campaign_stats",
     "format_campaign_table",
     "load_campaign_file",
+    "payload_checksum",
     "reset_default_store",
     "run_campaign",
     "run_from_payload",

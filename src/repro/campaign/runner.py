@@ -2,13 +2,17 @@
 
 A *campaign* is an ordered, deduplicated list of
 :class:`~repro.campaign.spec.RunSpec`; :func:`run_campaign` executes it —
-warm specs straight from the persistent store, cold specs fanned out over
-a ``ProcessPoolExecutor`` (or run serially with ``jobs=1``) — and merges
-results **by spec identity, never by completion order**, so the summary
-table is byte-identical whatever the worker interleaving.
+warm specs straight from the persistent store, cold specs handed to the
+:class:`~repro.campaign.supervisor.CampaignSupervisor`, which fans them
+over a ``ProcessPoolExecutor`` (or runs serially with ``jobs=1``) with
+retries, worker-crash recovery, hung-task timeouts, and poison-spec
+quarantine — and merges results **by spec identity, never by completion
+order**, so the summary table is byte-identical whatever the worker
+interleaving (or fault history: a transient crash retried to success
+produces the same row as a clean run).
 
-Campaign-level telemetry (cache hits/misses, runs executed, worker
-utilization) is recorded on a standard
+Campaign-level telemetry (cache hits/misses, runs executed, retries,
+quarantines, lost workers, worker utilization) is recorded on a standard
 :class:`~repro.telemetry.instruments.Registry` so the counters export
 through the existing Prometheus-style writer.
 """
@@ -17,11 +21,11 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro.campaign.chaos import ChaosSchedule, corrupt_store_entry
 from repro.campaign.serialize import (
     UncacheableRunError,
     run_to_payload,
@@ -30,7 +34,16 @@ from repro.campaign.serialize import (
 )
 from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore, default_store
-from repro.errors import ConfigurationError
+from repro.campaign.supervisor import (
+    COMPLETED_OUTCOMES,
+    OUTCOME_OK,
+    CampaignJournal,
+    CampaignSupervisor,
+    RetryPolicy,
+    SpecRecord,
+    record_from_journal,
+)
+from repro.errors import ConfigurationError, SpecQuarantinedError
 from repro.telemetry.instruments import Registry
 
 #: Sentinel: "use the process default store" (None means "no store").
@@ -54,6 +67,12 @@ class CampaignRow:
     completed: bool
     #: True when this row came from the persistent store (no simulation).
     cached: bool
+    #: Supervisor taxonomy: ok / retried / quarantined / lost-worker.
+    outcome: str = "ok"
+    #: Execution attempts consumed (1 for a clean first-try run).
+    attempts: int = 1
+    #: Last error text for quarantined / lost-worker rows.
+    error: str | None = None
 
 
 @dataclass
@@ -66,11 +85,51 @@ class CampaignResult:
     jobs: int
     workers_used: int
     registry: Registry
+    #: Failed attempts that were retried (events, not specs).
+    retried: int = 0
+    #: Specs that exhausted their retry budget on in-worker errors.
+    quarantined: int = 0
+    #: Attempts lost to worker death or the task timeout.
+    lost_workers: int = 0
+    #: Process pools torn down and rebuilt (crashes + hangs).
+    pool_rebuilds: int = 0
+    #: Tasks culled by the per-task timeout watchdog.
+    timeouts: int = 0
+    #: Specs replayed from the campaign journal (``--resume``).
+    resumed: int = 0
+    #: Corrupt store entries detected, deleted, and re-run.
+    store_repairs: int = 0
+    #: The journal the campaign appended to (None when storeless).
+    journal: Any = field(default=None, repr=False)
 
     @property
     def runs(self) -> int:
         """Number of distinct specs in the campaign."""
         return len(self.rows)
+
+    @property
+    def failed_rows(self) -> list[CampaignRow]:
+        """Rows that ended quarantined / lost-worker (no measurements)."""
+        return [row for row in self.rows if not row.completed]
+
+    def raise_for_failures(self) -> None:
+        """Strict mode: raise :class:`SpecQuarantinedError` on any failure.
+
+        ``run_campaign`` itself never raises for quarantined specs — the
+        campaign *completes* and names them.  Callers that need
+        all-or-nothing semantics opt in here.
+        """
+        failed = self.failed_rows
+        if failed:
+            listing = "; ".join(
+                f"{row.workload}/{row.system}x{row.nodes}/{row.network} "
+                f"({row.outcome} after {row.attempts} attempts: {row.error})"
+                for row in failed
+            )
+            raise SpecQuarantinedError(
+                f"{len(failed)} of {len(self.rows)} specs did not "
+                f"complete: {listing}"
+            )
 
 
 def build_campaign(
@@ -115,6 +174,34 @@ def build_campaign(
     return specs
 
 
+def _require_type(
+    path: Path, key: str, value: Any, kinds: tuple[type, ...], label: str
+) -> None:
+    """Up-front campaign-file type validation naming the offending key.
+
+    (Historically a ``"nodes": 4`` scalar or a string ``ranks_per_node``
+    sailed through here and failed much later as a bare ``TypeError``
+    deep inside normalization.)
+    """
+    if isinstance(value, bool) or not isinstance(value, kinds):
+        raise ConfigurationError(
+            f"campaign file {path}: key {key!r} must be {label}, "
+            f"got {type(value).__name__} ({value!r})"
+        )
+
+
+def _require_list(
+    path: Path, key: str, value: Any, item_kinds: tuple[type, ...], label: str
+) -> None:
+    _require_type(path, key, value, (list,), f"a list of {label}")
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, item_kinds):
+            raise ConfigurationError(
+                f"campaign file {path}: key {key!r} must hold {label}, "
+                f"got {type(item).__name__} ({item!r})"
+            )
+
+
 def load_campaign_file(path: str | Path) -> list[RunSpec]:
     """Parse a JSON campaign file into specs.
 
@@ -128,6 +215,10 @@ def load_campaign_file(path: str | Path) -> list[RunSpec]:
           "ranks_per_node": null,
           "workload_kwargs": {"jacobi": {"n": 1024, "iterations": 8}}
         }
+
+    Wrong-typed values (``"nodes": 4``, a string ``ranks_per_node``) are
+    rejected here with a :class:`ConfigurationError` naming the key,
+    instead of surfacing later as a bare ``TypeError`` mid-normalization.
     """
     path = Path(path)
     if not path.exists():
@@ -135,7 +226,9 @@ def load_campaign_file(path: str | Path) -> list[RunSpec]:
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"campaign file {path} is not valid JSON: {exc}")
+        raise ConfigurationError(
+            f"campaign file {path} is not valid JSON: {exc}"
+        ) from exc
     if not isinstance(document, dict):
         raise ConfigurationError(f"campaign file {path} must hold a JSON object")
     known = {
@@ -153,18 +246,46 @@ def load_campaign_file(path: str | Path) -> list[RunSpec]:
         raise ConfigurationError(
             f"campaign file {path} needs a non-empty 'workloads' list"
         )
+    _require_list(path, "workloads", workloads, (str,), "workload name strings")
+    nodes = document.get("nodes", [4])
+    _require_list(path, "nodes", nodes, (int,), "integer node counts")
+    networks = document.get("networks", ["10G"])
+    _require_list(path, "networks", networks, (str,), "network name strings")
+    system = document.get("system", "tx1")
+    _require_type(path, "system", system, (str,), "a system name string")
+    ranks_per_node = document.get("ranks_per_node")
+    if ranks_per_node is not None:
+        _require_type(
+            path, "ranks_per_node", ranks_per_node, (int,),
+            "an integer (or null)",
+        )
+    workload_kwargs = document.get("workload_kwargs")
+    if workload_kwargs is not None:
+        _require_type(
+            path, "workload_kwargs", workload_kwargs, (dict,),
+            "an object of per-workload parameter objects",
+        )
+        for name, kwargs in workload_kwargs.items():
+            _require_type(
+                path, f"workload_kwargs.{name}", kwargs, (dict,),
+                "a parameter object",
+            )
     return build_campaign(
         workloads,
-        nodes=document.get("nodes", [4]),
-        networks=document.get("networks", ["10G"]),
-        system=document.get("system", "tx1"),
-        ranks_per_node=document.get("ranks_per_node"),
-        workload_kwargs=document.get("workload_kwargs"),
+        nodes=nodes,
+        networks=networks,
+        system=system,
+        ranks_per_node=ranks_per_node,
+        workload_kwargs=workload_kwargs,
     )
 
 
-def _execute_spec(spec: RunSpec, store: ResultStore | None) -> dict[str, Any]:
-    """Simulate one cold spec, publish it, and return its summary row."""
+def execute_spec(spec: RunSpec, store: ResultStore | None) -> dict[str, Any]:
+    """Simulate one cold spec, publish it, and return its summary row.
+
+    Shared by the serial path and the pool workers (via
+    :mod:`repro.campaign.supervisor`).
+    """
     from repro.bench.runner import run_spec
 
     run = run_spec(spec, use_cache=False)
@@ -177,28 +298,10 @@ def _execute_spec(spec: RunSpec, store: ResultStore | None) -> dict[str, Any]:
     return summarize_payload(payload)
 
 
-def _campaign_worker(task: dict[str, Any]) -> dict[str, Any]:
-    """Pool entry point: run (or warm-load) one spec in a worker process."""
-    spec = RunSpec.from_dict(task["spec"])
-    root = task["root"]
-    store = ResultStore(root) if root is not None else None
-    cached = False
-    if store is not None:
-        payload = store.get("run", spec.digest, spec.fingerprint)
-        if payload is not None:
-            cached = True
-            row = summarize_payload(payload)
-    if not cached:
-        row = _execute_spec(spec, store)
-    return {
-        "digest": spec.digest,
-        "row": row,
-        "cached": cached,
-        "pid": os.getpid(),
-    }
-
-
-def _merge_row(spec: RunSpec, summary: dict[str, Any], cached: bool) -> CampaignRow:
+def _merge_row(
+    spec: RunSpec, summary: dict[str, Any], cached: bool,
+    outcome: str = "ok", attempts: int = 1, error: str | None = None,
+) -> CampaignRow:
     return CampaignRow(
         workload=spec.name,
         system=spec.system,
@@ -212,26 +315,83 @@ def _merge_row(spec: RunSpec, summary: dict[str, Any], cached: bool) -> Campaign
         network_bytes=summary["network_bytes"],
         completed=summary["completed"],
         cached=cached,
+        outcome=outcome,
+        attempts=attempts,
+        error=error,
     )
+
+
+def _failure_row(spec: RunSpec, record: SpecRecord) -> CampaignRow:
+    """The ``completed=False`` row a quarantined spec contributes."""
+    return CampaignRow(
+        workload=spec.name,
+        system=spec.system,
+        nodes=spec.nodes,
+        network=spec.network,
+        ranks_per_node=spec.ranks_per_node,
+        runtime_seconds=0.0,
+        gflops=0.0,
+        mflops_per_watt=0.0,
+        energy_joules=0.0,
+        network_bytes=0.0,
+        completed=False,
+        cached=record.cached,
+        outcome=record.outcome,
+        attempts=record.attempts,
+        error=record.error,
+    )
+
+
+def _row_from_record(spec: RunSpec, record: SpecRecord) -> CampaignRow:
+    if record.row is not None and record.outcome in COMPLETED_OUTCOMES:
+        return _merge_row(
+            spec, record.row, record.cached,
+            outcome=record.outcome, attempts=record.attempts,
+            error=record.error,
+        )
+    return _failure_row(spec, record)
 
 
 def run_campaign(
     specs: Iterable[RunSpec],
     jobs: int = 1,
     store: ResultStore | None = _DEFAULT_STORE,  # type: ignore[assignment]
+    retries: int = 2,
+    task_timeout: float | None = None,
+    resume: bool = False,
+    chaos: ChaosSchedule | None = None,
+    retry_policy: RetryPolicy | None = None,
+    sleep: Any = None,
 ) -> CampaignResult:
-    """Execute *specs*, warm-starting from *store*, fanning out over *jobs*.
+    """Execute *specs* under supervision, warm-starting from *store*.
 
     ``store`` defaults to the process-wide persistent store (pass ``None``
     to run storeless).  With ``jobs > 1`` cold specs are sharded across a
     process pool; results always merge in spec order.  Non-revivable specs
     (enum-valued kwargs) cannot cross a process boundary and are executed
     in-process regardless of *jobs*.
+
+    Supervision: failed attempts are retried up to *retries* times with
+    seeded exponential backoff; a spec that keeps failing is quarantined
+    (the campaign completes with a ``completed=False`` row naming it);
+    worker crashes rebuild the pool and resubmit only the lost specs;
+    *task_timeout* culls hung workers.  With a store attached, terminal
+    outcomes are journaled under ``<store>/campaigns/`` and
+    ``resume=True`` replays a prior interrupted run, re-executing only
+    undecided specs.  *chaos* injects a deterministic fault schedule (see
+    :mod:`repro.campaign.chaos`).
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    policy = retry_policy or RetryPolicy(retries=retries)
     if store is _DEFAULT_STORE:
         store = default_store()
+    if resume and store is None:
+        raise ConfigurationError(
+            "--resume needs the persistent result store (it replays the "
+            "campaign journal kept there); do not combine it with "
+            "--no-cache / REPRO_DISK_CACHE=0"
+        )
     ordered: list[RunSpec] = []
     seen: set[tuple] = set()
     for spec in specs:
@@ -241,10 +401,28 @@ def run_campaign(
     if not ordered:
         raise ConfigurationError("a campaign needs at least one run spec")
 
+    repairs_before = store.corrupt_repaired if store is not None else 0
+    if chaos is not None and store is not None:
+        for digest in chaos.corrupt:
+            corrupt_store_entry(store, "run", digest)
+
+    journal = None
+    replayed: dict[str, dict[str, Any]] = {}
+    if store is not None:
+        journal = CampaignJournal.for_campaign(store.root, ordered)
+        replayed = journal.begin(ordered, resume=resume)
+
     rows: dict[str, CampaignRow] = {}
     pending: list[RunSpec] = []
     hits = 0
+    resumed = 0
     for spec in ordered:
+        entry = replayed.get(spec.digest)
+        if entry is not None:
+            record = record_from_journal(spec, entry)
+            rows[spec.digest] = _row_from_record(spec, record)
+            resumed += 1
+            continue
         payload = (
             store.get("run", spec.digest, spec.fingerprint)
             if store is not None else None
@@ -252,37 +430,32 @@ def run_campaign(
         if payload is not None:
             rows[spec.digest] = _merge_row(spec, summarize_payload(payload), True)
             hits += 1
+            if journal is not None:
+                journal.record(SpecRecord(
+                    spec=spec, outcome=OUTCOME_OK, attempts=1,
+                    row=summarize_payload(payload), cached=True,
+                ))
         else:
             pending.append(spec)
 
-    shardable = [spec for spec in pending if spec.revivable]
-    local = [spec for spec in pending if not spec.revivable]
-    pids: set[int] = set()
-    if jobs > 1 and len(shardable) > 1:
-        root = str(store.root) if store is not None else None
-        workers = min(jobs, len(shardable))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _campaign_worker, {"spec": spec.to_dict(), "root": root}
-                ): spec
-                for spec in shardable
-            }
-            for future in as_completed(futures):
-                spec = futures[future]
-                outcome = future.result()
-                rows[spec.digest] = _merge_row(
-                    spec, outcome["row"], outcome["cached"]
-                )
-                pids.add(outcome["pid"])
-    else:
-        local = shardable + local
-    for spec in local:
-        rows[spec.digest] = _merge_row(spec, _execute_spec(spec, store), False)
-    if local:
-        pids.add(os.getpid())
+    supervisor = CampaignSupervisor(
+        pending,
+        jobs=jobs,
+        store=store,
+        policy=policy,
+        task_timeout=task_timeout,
+        chaos=chaos,
+        journal=journal,
+        sleep=sleep,
+    )
+    records = supervisor.run()
+    for digest, record in records.items():
+        rows[digest] = _row_from_record(record.spec, record)
 
     misses = len(pending)
+    repairs = (
+        store.corrupt_repaired - repairs_before if store is not None else 0
+    )
     registry = Registry()
     registry.counter(
         "campaign_cache_hits_total",
@@ -295,19 +468,55 @@ def run_campaign(
     registry.counter(
         "campaign_runs_total", "distinct run specs in the campaign",
     ).inc(len(ordered))
+    registry.counter(
+        "campaign_retries_total",
+        "failed attempts retried under the supervisor's backoff policy",
+    ).inc(supervisor.counters["retries"])
+    registry.counter(
+        "campaign_quarantined_total",
+        "poison specs quarantined after exhausting their retry budget",
+    ).inc(supervisor.counters["quarantined"])
+    registry.counter(
+        "campaign_lost_workers_total",
+        "attempts lost to worker death or the task timeout",
+    ).inc(supervisor.counters["lost_workers"])
+    registry.counter(
+        "campaign_pool_rebuilds_total",
+        "worker pools torn down and rebuilt after crashes or hangs",
+    ).inc(supervisor.counters["pool_rebuilds"])
+    registry.counter(
+        "campaign_task_timeouts_total",
+        "tasks culled by the per-task timeout watchdog",
+    ).inc(supervisor.counters["timeouts"])
+    registry.counter(
+        "campaign_resumed_total",
+        "specs replayed from the campaign journal instead of re-running",
+    ).inc(resumed)
+    registry.counter(
+        "campaign_store_repairs_total",
+        "corrupt store entries detected, deleted, and re-run",
+    ).inc(repairs)
     registry.gauge(
         "campaign_workers_configured", "worker processes requested (--jobs)",
     ).set(jobs)
     registry.gauge(
         "campaign_workers_used", "worker processes that executed >= 1 run",
-    ).set(len(pids))
+    ).set(len(supervisor.pids))
     return CampaignResult(
         rows=[rows[spec.digest] for spec in ordered],
         cache_hits=hits,
         cache_misses=misses,
         jobs=jobs,
-        workers_used=len(pids),
+        workers_used=len(supervisor.pids),
         registry=registry,
+        retried=supervisor.counters["retries"],
+        quarantined=supervisor.counters["quarantined"],
+        lost_workers=supervisor.counters["lost_workers"],
+        pool_rebuilds=supervisor.counters["pool_rebuilds"],
+        timeouts=supervisor.counters["timeouts"],
+        resumed=resumed,
+        store_repairs=repairs,
+        journal=journal,
     )
 
 
@@ -316,7 +525,9 @@ def format_campaign_table(result: CampaignResult) -> str:
 
     Deliberately excludes cache provenance (that lives in
     :func:`format_campaign_stats`): the table is byte-identical whether
-    rows came from workers, the serial path, or a warm store.
+    rows came from workers, the serial path, a warm store, a resumed
+    journal — or a fault-injected run whose transient failures all
+    retried to success.
     """
     header = (
         f"{'workload':<12} {'system':<9} {'nodes':>5} {'net':>4} {'rpn':>4} "
@@ -337,7 +548,41 @@ def format_campaign_table(result: CampaignResult) -> str:
 
 def format_campaign_stats(result: CampaignResult) -> str:
     """The (cache-state-dependent) counter summary printed after the table."""
-    return (
-        f"cache: {result.cache_hits} hits, {result.cache_misses} misses\n"
-        f"workers: {result.workers_used} used of {result.jobs} requested"
+    lines = [
+        f"cache: {result.cache_hits} hits, {result.cache_misses} misses",
+        f"workers: {result.workers_used} used of {result.jobs} requested",
+    ]
+    recovered = (
+        result.retried + result.quarantined + result.lost_workers
+        + result.pool_rebuilds + result.timeouts
     )
+    if recovered:
+        lines.append(
+            f"recovery: {result.retried} retried, "
+            f"{result.quarantined} quarantined, "
+            f"{result.lost_workers} lost workers, "
+            f"{result.timeouts} timeouts, "
+            f"{result.pool_rebuilds} pool rebuilds"
+        )
+    if result.resumed:
+        lines.append(f"resumed: {result.resumed} specs from the journal")
+    if result.store_repairs:
+        lines.append(
+            f"store: {result.store_repairs} corrupt entries repaired"
+        )
+    return "\n".join(lines)
+
+
+def format_campaign_failures(result: CampaignResult) -> str:
+    """Human-readable listing of quarantined / lost-worker specs."""
+    failed = result.failed_rows
+    if not failed:
+        return ""
+    lines = ["failed specs:"]
+    for row in failed:
+        lines.append(
+            f"  {row.workload}/{row.system}x{row.nodes}/{row.network} "
+            f"rpn={row.ranks_per_node}: {row.outcome} after "
+            f"{row.attempts} attempt(s): {row.error}"
+        )
+    return "\n".join(lines)

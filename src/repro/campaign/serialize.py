@@ -15,6 +15,8 @@ tables regenerated from a warm store are byte-identical to cold runs.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import fields
 from typing import Any
 
@@ -40,6 +42,19 @@ class UncacheableRunError(ReproError):
     Raised (and swallowed by the caller) when e.g. a rank program returned
     an ad-hoc object; such runs simply stay in the in-process cache.
     """
+
+
+def payload_checksum(payload: Any) -> str:
+    """A short content checksum of a JSON-safe payload.
+
+    The store writes this next to every entry and re-derives it on read,
+    so a flipped bit (or a hand-edited file) is detected even when the
+    damage leaves the JSON well-formed.  Canonical serialization
+    (sorted keys, no whitespace) makes the checksum independent of how
+    the document happened to be written.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def _pack(record: Any) -> list[Any]:

@@ -361,6 +361,17 @@ class RunSpec:
     def from_dict(cls, document: dict[str, Any]) -> "RunSpec":
         """Rebuild a spec shipped by :meth:`to_dict` (digest-preserving)."""
         kwargs = document.get("workload_kwargs", {})
+        try:
+            return cls._from_dict_checked(document, kwargs)
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"run spec document is missing required key {exc.args[0]!r}"
+            ) from exc
+
+    @classmethod
+    def _from_dict_checked(
+        cls, document: dict[str, Any], kwargs: dict[str, Any]
+    ) -> "RunSpec":
         return cls(
             name=document["name"],
             nodes=document["nodes"],

@@ -38,7 +38,12 @@ Commands
     Run a campaign (workload x nodes x network grid, inline flags or a JSON
     campaign file) sharded over ``--jobs`` worker processes, warm-starting
     from the persistent ``.repro-cache/`` result store; prints the summary
-    table plus cache/worker counters.  See ``docs/CAMPAIGN.md``.
+    table plus cache/worker counters.  Execution is supervised: failed
+    attempts retry with seeded backoff (``--retries``), hung workers are
+    culled (``--task-timeout``), poison specs are quarantined instead of
+    aborting the campaign, and an interrupted campaign resumes from its
+    journal (``--resume``).  ``--chaos SEED`` injects a deterministic
+    fault schedule to exercise all of it.  See ``docs/CAMPAIGN.md``.
 """
 
 from __future__ import annotations
@@ -304,8 +309,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.campaign import (
+        ChaosSchedule,
         ResultStore,
         build_campaign,
+        format_campaign_failures,
         format_campaign_stats,
         format_campaign_table,
         load_campaign_file,
@@ -336,13 +343,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store = ResultStore(args.cache_dir)
     else:
         store = _DEFAULT_SWEEP_STORE
+    chaos = (
+        ChaosSchedule.plan(specs, seed=args.chaos)
+        if args.chaos is not None else None
+    )
+    supervision = {
+        "retries": args.retries,
+        "task_timeout": args.task_timeout,
+        "resume": args.resume,
+        "chaos": chaos,
+    }
     if store is _DEFAULT_SWEEP_STORE:
-        result = run_campaign(specs, jobs=args.jobs)
+        result = run_campaign(specs, jobs=args.jobs, **supervision)
     else:
-        result = run_campaign(specs, jobs=args.jobs, store=store)
+        result = run_campaign(specs, jobs=args.jobs, store=store, **supervision)
     print(format_campaign_table(result))
     print()
     print(format_campaign_stats(result))
+    failures = format_campaign_failures(result)
+    if failures:
+        print()
+        print(failures)
     return 0 if all(row.completed for row in result.rows) else 1
 
 
@@ -590,6 +611,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="run storeless: no warm-starts, nothing "
                               "persisted")
+    sweep_p.add_argument("--retries", type=int, default=2, metavar="N",
+                         help="failed attempts to retry per spec before "
+                              "quarantining it (default: 2)")
+    sweep_p.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="cull a worker whose task exceeds this budget "
+                              "and retry the spec (default: no timeout)")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="replay the campaign journal from an "
+                              "interrupted run; only undecided specs re-run")
+    sweep_p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                         help="inject a seeded fault schedule (worker crash, "
+                              "hang, in-task failure, corrupted store entry) "
+                              "to exercise the recovery machinery")
 
     from repro.lint.cli import add_lint_arguments
 

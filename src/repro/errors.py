@@ -63,6 +63,29 @@ class RankFailedError(MPIError):
         self.rank = rank
 
 
+class CampaignError(ReproError):
+    """Raised by the campaign layer (supervised execution, journals)."""
+
+
+class WorkerLostError(CampaignError):
+    """A campaign worker process died or hung mid-run.
+
+    Used to label attempts lost to a ``BrokenProcessPool`` or a per-task
+    timeout; the supervisor recovers (rebuilds the pool, resubmits the
+    lost specs) rather than letting this propagate.
+    """
+
+
+class SpecQuarantinedError(CampaignError):
+    """One or more specs exhausted their retry budget and were quarantined.
+
+    ``run_campaign`` never raises this itself — a campaign *completes*
+    with ``completed=False`` rows naming the quarantined specs.  Callers
+    that want strict semantics raise it via
+    :meth:`~repro.campaign.runner.CampaignResult.raise_for_failures`.
+    """
+
+
 class TraceError(ReproError):
     """Raised when a trace is malformed or an analysis precondition fails."""
 

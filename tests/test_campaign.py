@@ -420,3 +420,138 @@ def test_disk_revived_run_summarizes_identically():
     warm = run_workload("jacobi", nodes=2, **JACOBI_SMALL)
     assert cache_stats()["disk_hits"] == 1
     assert summarize_run(warm) == cold_row
+
+
+# -- campaign-file type validation ------------------------------------------------
+
+
+def test_campaign_file_rejects_scalar_nodes(tmp_path):
+    # Historical bug: {"nodes": 4} sailed through and failed much later
+    # as a bare TypeError inside normalization.
+    path = tmp_path / "c.json"
+    path.write_text(json.dumps({"workloads": ["jacobi"], "nodes": 4}),
+                    encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="'nodes'"):
+        load_campaign_file(path)
+
+
+def test_campaign_file_rejects_wrong_item_types(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text(json.dumps({"workloads": ["jacobi"], "nodes": [2, "4"]}),
+                    encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="'nodes'"):
+        load_campaign_file(path)
+    path.write_text(json.dumps({"workloads": ["jacobi", 7]}),
+                    encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="'workloads'"):
+        load_campaign_file(path)
+    path.write_text(json.dumps({"workloads": ["jacobi"], "nodes": [True]}),
+                    encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="'nodes'"):
+        load_campaign_file(path)
+
+
+def test_campaign_file_rejects_string_ranks_per_node(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text(
+        json.dumps({"workloads": ["jacobi"], "ranks_per_node": "2"}),
+        encoding="utf-8",
+    )
+    with pytest.raises(ConfigurationError, match="'ranks_per_node'"):
+        load_campaign_file(path)
+
+
+def test_campaign_file_rejects_malformed_workload_kwargs(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text(
+        json.dumps({"workloads": ["jacobi"], "workload_kwargs": ["n"]}),
+        encoding="utf-8",
+    )
+    with pytest.raises(ConfigurationError, match="'workload_kwargs'"):
+        load_campaign_file(path)
+    path.write_text(
+        json.dumps({"workloads": ["jacobi"],
+                    "workload_kwargs": {"jacobi": 64}}),
+        encoding="utf-8",
+    )
+    with pytest.raises(ConfigurationError, match="workload_kwargs.jacobi"):
+        load_campaign_file(path)
+
+
+def test_campaign_file_json_error_chains_cause(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text('{"workloads": [', encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="not valid JSON") as info:
+        load_campaign_file(path)
+    assert isinstance(info.value.__cause__, json.JSONDecodeError)
+
+
+# -- store hygiene: temp droppings ------------------------------------------------
+
+
+def test_stale_tmp_droppings_collected(tmp_path):
+    # Historical bug: clear()/__len__ only globbed *.json, so crashed
+    # writers' *.json.tmp.<pid> files accumulated forever.
+    store = ResultStore(tmp_path / "s")
+    path = store.put("run", "abcd", "fp", {"x": 1})
+    dead = path.with_name(f"{path.name}.tmp.999999")
+    dead.write_text("{", encoding="utf-8")
+    assert len(store) == 1  # droppings never count as entries
+    # put() into the same shard opportunistically sweeps dead writers.
+    store.put("run", "abce", "fp", {"x": 2})
+    assert not dead.exists()
+    assert store.tmp_collected == 1
+
+
+def test_live_writer_tmp_files_survive_put(tmp_path):
+    import os
+
+    store = ResultStore(tmp_path / "s")
+    path = store.put("run", "abcd", "fp", {"x": 1})
+    own = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    own.write_text("{", encoding="utf-8")
+    store.put("run", "abce", "fp", {"x": 2})
+    assert own.exists()  # an in-flight writer: its os.replace will land
+    assert store.tmp_collected == 0
+    own.unlink()
+
+
+def test_clear_collects_entries_and_all_droppings(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    path = store.put("run", "abcd", "fp", {"x": 1})
+    dropping = path.with_name(f"{path.name}.tmp.999999")
+    dropping.write_text("{", encoding="utf-8")
+    assert store.clear() == 2
+    assert len(store) == 0
+    assert not dropping.exists()
+
+
+# -- store: concurrent writers ----------------------------------------------------
+
+
+def _concurrent_put(task):
+    """Worker for the concurrent-put race test (module-level: picklable)."""
+    from repro.campaign.store import ResultStore
+
+    root, payload = task
+    store = ResultStore(root)
+    path = store.put("run", "racedigest", "fp", payload)
+    return path is not None
+
+
+def test_concurrent_puts_same_entry_leave_one_valid_winner(tmp_path):
+    from concurrent.futures import ProcessPoolExecutor
+
+    store = ResultStore(tmp_path / "s")
+    payload = {"x": 1.25, "rows": [1, 2, 3]}
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        outcomes = list(pool.map(
+            _concurrent_put, [(str(store.root), payload)] * 8
+        ))
+    assert all(outcomes)  # every writer succeeded (atomic os.replace)
+    assert len(store) == 1  # one entry, no torn siblings
+    assert list(store.root.rglob("*.tmp.*")) == []
+    first = store.get("run", "racedigest", "fp")
+    assert first == payload
+    raw = store.entry_path("run", "racedigest").read_bytes()
+    assert raw == store.entry_path("run", "racedigest").read_bytes()
