@@ -20,6 +20,7 @@ through the existing Prometheus-style writer.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -73,6 +74,34 @@ class CampaignRow:
     attempts: int = 1
     #: Last error text for quarantined / lost-worker rows.
     error: str | None = None
+    #: Hierarchical-roofline inputs (zero for CPU-only / failed rows).
+    gpu_flops: float = 0.0
+    gpu_dram_bytes: float = 0.0
+    gpu_l2_bytes: float = 0.0
+    #: Binding bandwidth roof (l2 / dram / network); None when the row has
+    #: no GPGPU measurements to place.
+    binding_level: str | None = None
+
+    @property
+    def operational_intensity(self) -> float:
+        """DRAM-level OI (inf when the run moved no DRAM bytes)."""
+        if self.gpu_dram_bytes <= 0:
+            return math.inf
+        return self.gpu_flops / self.gpu_dram_bytes
+
+    @property
+    def l2_intensity(self) -> float:
+        """L2-level OI (inf when the run moved no L2 bytes)."""
+        if self.gpu_l2_bytes <= 0:
+            return math.inf
+        return self.gpu_flops / self.gpu_l2_bytes
+
+    @property
+    def network_intensity(self) -> float:
+        """NI = FLOPs per network byte (inf for network-silent runs)."""
+        if self.network_bytes <= 0:
+            return math.inf
+        return self.gpu_flops / self.network_bytes
 
 
 @dataclass
@@ -298,6 +327,38 @@ def execute_spec(spec: RunSpec, store: ResultStore | None) -> dict[str, Any]:
     return summarize_payload(payload)
 
 
+def _binding_for(spec: RunSpec, summary: dict[str, Any]) -> str | None:
+    """The hierarchical binding level of one summary row (None if unplaceable).
+
+    Pure arithmetic over the summary's byte totals plus the spec-rebuilt
+    cluster's ceilings, so cold, warm, and journal-replayed rows all land
+    on the same answer.  Rows from journals written before the summaries
+    carried GPU byte totals simply come back unplaced.
+    """
+    from repro.campaign.spec import build_cluster
+    from repro.core import (
+        DRAM_LEVEL,
+        L2_LEVEL,
+        hierarchical_roofline_for_cluster,
+    )
+    from repro.errors import AnalysisError
+
+    flops = summary.get("gpu_flops", 0.0)
+    dram = summary.get("gpu_dram_bytes", 0.0)
+    l2 = summary.get("gpu_l2_bytes", 0.0)
+    if flops <= 0 or dram <= 0 or l2 <= 0:
+        return None
+    try:
+        model = hierarchical_roofline_for_cluster(build_cluster(spec))
+    except AnalysisError:
+        return None
+    net_bytes = summary.get("network_bytes", 0.0)
+    network_intensity = flops / net_bytes if net_bytes > 0 else math.inf
+    return model.binding_level(
+        {L2_LEVEL: flops / l2, DRAM_LEVEL: flops / dram}, network_intensity
+    )
+
+
 def _merge_row(
     spec: RunSpec, summary: dict[str, Any], cached: bool,
     outcome: str = "ok", attempts: int = 1, error: str | None = None,
@@ -318,6 +379,10 @@ def _merge_row(
         outcome=outcome,
         attempts=attempts,
         error=error,
+        gpu_flops=summary.get("gpu_flops", 0.0),
+        gpu_dram_bytes=summary.get("gpu_dram_bytes", 0.0),
+        gpu_l2_bytes=summary.get("gpu_l2_bytes", 0.0),
+        binding_level=_binding_for(spec, summary),
     )
 
 
@@ -502,8 +567,35 @@ def run_campaign(
     registry.gauge(
         "campaign_workers_used", "worker processes that executed >= 1 run",
     ).set(len(supervisor.pids))
+    merged = [rows[spec.digest] for spec in ordered]
+    intensity_gauge = registry.gauge(
+        "campaign_roofline_intensity",
+        "per-run measured intensity against each bandwidth roof",
+        unit="flop_per_byte",
+        labelnames=("run", "level"),
+    )
+    binding_gauge = registry.gauge(
+        "campaign_roofline_binding",
+        "1 on the bandwidth roof that binds each run, 0 elsewhere",
+        labelnames=("run", "level"),
+    )
+    for row in merged:
+        if row.binding_level is None:
+            continue
+        run_label = f"{row.workload}/{row.system}x{row.nodes}/{row.network}"
+        for level, intensity in (
+            ("l2", row.l2_intensity),
+            ("dram", row.operational_intensity),
+            ("network", row.network_intensity),
+        ):
+            if math.isfinite(intensity):
+                intensity_gauge.set(intensity, run=run_label, level=level)
+            binding_gauge.set(
+                1.0 if level == row.binding_level else 0.0,
+                run=run_label, level=level,
+            )
     return CampaignResult(
-        rows=[rows[spec.digest] for spec in ordered],
+        rows=merged,
         cache_hits=hits,
         cache_misses=misses,
         jobs=jobs,
@@ -570,7 +662,24 @@ def format_campaign_stats(result: CampaignResult) -> str:
         lines.append(
             f"store: {result.store_repairs} corrupt entries repaired"
         )
+    for row in result.rows:
+        if row.binding_level is None:
+            continue
+        lines.append(
+            f"roofline: {row.workload}/{row.system}x{row.nodes}/{row.network} "
+            f"binds {row.binding_level} "
+            f"(OI_l2 {_fmt_intensity(row.l2_intensity)}, "
+            f"OI_dram {_fmt_intensity(row.operational_intensity)}, "
+            f"NI {_fmt_intensity(row.network_intensity)})"
+        )
     return "\n".join(lines)
+
+
+def _fmt_intensity(value: float) -> str:
+    """Fixed-format FLOP/byte for the stat lines ('inf' for silent axes)."""
+    if math.isinf(value):
+        return "inf"
+    return f"{value:.3f}"
 
 
 def format_campaign_failures(result: CampaignResult) -> str:

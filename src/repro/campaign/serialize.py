@@ -203,6 +203,11 @@ def summarize_payload(document: dict[str, Any]) -> dict[str, Any]:
     throughput = flops / elapsed if elapsed else 0.0
     energy = _unpack(EnergyReport, result["energy"])
     power = energy.average_power_watts
+    gpu_l2_bytes = sum(
+        _unpack(KernelRecord, values).l2_bytes
+        for profiler in result.get("gpu_profilers", [])
+        for values in profiler["kernels"]
+    )
     return {
         "runtime_seconds": elapsed,
         "gflops": to_gflops(throughput),
@@ -212,6 +217,11 @@ def summarize_payload(document: dict[str, Any]) -> dict[str, Any]:
         "energy_joules": energy.total_joules,
         "network_bytes": result["network_bytes"],
         "completed": not result["failures"],
+        # Roofline extras: the hierarchical binding level is derivable from
+        # a summary row alone (runner does the placement arithmetic).
+        "gpu_flops": result.get("gpu_flops", 0.0),
+        "gpu_dram_bytes": result.get("gpu_dram_bytes", 0.0),
+        "gpu_l2_bytes": gpu_l2_bytes,
     }
 
 
@@ -229,6 +239,11 @@ def summarize_run(run) -> dict[str, Any]:
             "gpu_flops": result.gpu_flops,
             "cpu_flops": result.cpu_flops,
             "network_bytes": result.network_bytes,
+            "gpu_dram_bytes": result.gpu_dram_bytes,
+            "gpu_profilers": [
+                {"kernels": [_pack(k) for k in p.kernels]}
+                for p in result.gpu_profilers
+            ],
             "failures": {str(r): t for r, t in result.failures.items()},
         },
     })

@@ -254,13 +254,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {json_path} and {md_path}")
         return 0
 
-    from repro.insight import RENDERERS, build_report
+    from repro.insight import RENDERERS, build_report, render_ridgeline_svg
 
     report = build_report(
         _require_workload(args.workload),
         nodes=args.nodes,
         network=args.network,
         system=args.system,
+        roofline=args.roofline,
     )
     rendered = RENDERERS[args.format](report)
     if args.out:
@@ -269,6 +270,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} report to {args.out}")
     else:
         print(rendered, end="")
+    if args.figure_out:
+        if report.ridgeline is None:
+            raise ConfigurationError(
+                "--figure-out needs --roofline 2d and a GPGPU workload"
+            )
+        with open(args.figure_out, "w", encoding="utf-8") as handle:
+            handle.write(render_ridgeline_svg(report.ridgeline))
+        print(f"wrote ridgeline figure to {args.figure_out}")
     return 0
 
 
@@ -461,6 +470,16 @@ def _exp_microbench() -> str:
     return tables.format_microbench(ex.network_microbench())
 
 
+def _exp_roofline2() -> str:
+    from repro.insight import ceiling_migration_sweep, format_migration_sweep
+
+    sections = ["## Roofline 2.0: binding-ceiling migration", ""]
+    for network in ("alexnet", "googlenet"):
+        rows = ceiling_migration_sweep(network, nodes=4)
+        sections.append(format_migration_sweep(network, rows))
+    return "\n".join(sections)
+
+
 _EXPERIMENTS: dict[str, Callable[[], str]] = {
     "fig1": _exp_fig1,
     "fig2": _exp_fig1,  # same table carries both columns
@@ -477,6 +496,7 @@ _EXPERIMENTS: dict[str, Callable[[], str]] = {
     "table4": _exp_table4,
     "table6": _exp_table6,
     "microbench": _exp_microbench,
+    "roofline2": _exp_roofline2,
 }
 
 
@@ -518,6 +538,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default="tx1")
     rep_p.add_argument("--format", choices=("text", "json", "md"),
                        default="text", help="report rendering (default: text)")
+    rep_p.add_argument("--roofline", choices=("flat", "hier", "2d"),
+                       default="flat",
+                       help="roofline section depth: flat (one DRAM ceiling), "
+                            "hier (per-level binding), 2d (adds the per-rank "
+                            "OIxNI placement)")
+    rep_p.add_argument("--figure-out", default=None, metavar="FILE",
+                       help="with --roofline 2d: write the deterministic "
+                            "ridgeline SVG here")
     rep_p.add_argument("--out", default=None, metavar="FILE",
                        help="write the report here instead of stdout")
     rep_p.add_argument("--outdir", default="artifacts",

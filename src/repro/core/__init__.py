@@ -17,14 +17,33 @@ report as text.
 
 from repro.core.roofline import RooflineModel
 from repro.core.extended import ExtendedRoofline, LimitingFactor, RooflinePoint
-from repro.core.model_io import measure_roofline_point, roofline_for_cluster
+from repro.core.hierarchy import (
+    DRAM_LEVEL,
+    L2_LEVEL,
+    NETWORK_LEVEL,
+    HierarchicalRoofline,
+    LevelCeiling,
+    levels_from_cache_hierarchy,
+)
+from repro.core.model_io import (
+    hierarchical_roofline_for_cluster,
+    measure_roofline_point,
+    roofline_for_cluster,
+)
 from repro.core.report import render_roofline_ascii, render_table2
 
 __all__ = [
+    "DRAM_LEVEL",
     "ExtendedRoofline",
+    "HierarchicalRoofline",
+    "L2_LEVEL",
+    "LevelCeiling",
     "LimitingFactor",
+    "NETWORK_LEVEL",
     "RooflineModel",
     "RooflinePoint",
+    "hierarchical_roofline_for_cluster",
+    "levels_from_cache_hierarchy",
     "measure_roofline_point",
     "render_roofline_ascii",
     "render_table2",

@@ -5,6 +5,12 @@ from __future__ import annotations
 from repro.cluster.cluster import Cluster
 from repro.cluster.job import JobResult
 from repro.core.extended import ExtendedRoofline, RooflinePoint
+from repro.core.hierarchy import (
+    DRAM_LEVEL,
+    L2_LEVEL,
+    HierarchicalRoofline,
+    LevelCeiling,
+)
 from repro.errors import AnalysisError
 
 
@@ -17,6 +23,29 @@ def roofline_for_cluster(cluster: Cluster) -> ExtendedRoofline:
         name=cluster.spec.name,
         peak_flops=gpu.peak_dp_flops,
         memory_bandwidth=gpu.memory_bandwidth,
+        network_bandwidth=cluster.spec.nic.achievable_rate,
+    )
+
+
+def hierarchical_roofline_for_cluster(cluster: Cluster) -> HierarchicalRoofline:
+    """Per-level ceilings for *cluster*: GPU L2, DRAM, and the NIC.
+
+    The L2 roof is the GPU's aggregate sector bandwidth
+    (:attr:`~repro.hardware.gpu.GPUSpec.l2_bandwidth`); the DRAM roof is
+    the same DRAM->GPGPU stream bandwidth the flat model uses, so the
+    hierarchy's ``flat()`` projection reproduces
+    :func:`roofline_for_cluster` exactly.
+    """
+    gpu = cluster.spec.node_spec.gpu
+    if gpu is None:
+        raise AnalysisError("hierarchical roofline needs a GPGPU-bearing node")
+    return HierarchicalRoofline(
+        name=cluster.spec.name,
+        peak_flops=gpu.peak_dp_flops,
+        levels=(
+            LevelCeiling(name=L2_LEVEL, bandwidth=gpu.l2_bandwidth),
+            LevelCeiling(name=DRAM_LEVEL, bandwidth=gpu.memory_bandwidth),
+        ),
         network_bandwidth=cluster.spec.nic.achievable_rate,
     )
 

@@ -17,6 +17,9 @@ class KernelRecord:
     l2_utilization: float
     l2_read_throughput: float  # bytes/s during the kernel
     memory_stall_fraction: float
+    # L2-level request traffic (0 when the launch bypassed the cache);
+    # trailing with a default so positional construction stays valid.
+    l2_bytes: float = 0.0
 
     @property
     def seconds(self) -> float:
@@ -80,6 +83,11 @@ class Profiler:
     def total_dram_bytes(self) -> float:
         """Total kernel DRAM traffic (operational-intensity denominator)."""
         return sum(k.dram_bytes for k in self.kernels)
+
+    @property
+    def total_l2_bytes(self) -> float:
+        """Total kernel L2-level traffic (hierarchical roofline denominator)."""
+        return sum(k.l2_bytes for k in self.kernels)
 
     def mean_l2_utilization(self) -> float:
         """Time-weighted mean L2 utilization across kernels."""

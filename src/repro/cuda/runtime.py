@@ -26,10 +26,15 @@ class KernelSpec:
     flops: float
     dram_bytes: float
     precision: str = "double"
+    #: Declared L2-level request traffic for workloads that know their reuse
+    #: structure; ``None`` defers to the GPU model's miss-ratio estimate.
+    l2_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if self.flops < 0 or self.dram_bytes < 0:
             raise CudaError(f"{self.name}: flops/dram_bytes must be non-negative")
+        if self.l2_bytes is not None and self.l2_bytes < 0:
+            raise CudaError(f"{self.name}: l2_bytes must be non-negative")
 
 
 _SPACES = ("host", "device", "managed", "mapped")
@@ -99,6 +104,10 @@ class CudaContext:
         self._copy_bytes_counter = tm.counter(
             "cuda_copy_bytes_total", "bytes moved by copies and migrations",
             unit="bytes", labelnames=("kind",),
+        )
+        self._l2_bytes_counter = tm.counter(
+            "cuda_l2_bytes_total", "kernel L2-level request traffic",
+            unit="bytes",
         )
         self._kernel_seconds_histogram = tm.histogram(
             "cuda_kernel_seconds", "on-engine kernel execution time",
@@ -222,6 +231,7 @@ class CudaContext:
         with self._telemetry.async_span(
             self._track, f"kernel:{kernel.name}", "cuda",
             flops=kernel.flops, dram_bytes=cost.dram_bytes,
+            l2_bytes=cost.l2_bytes,
         ):
             stream_req = stream.enter() if stream is not None else None
             if stream_req is not None:
@@ -233,6 +243,7 @@ class CudaContext:
         if stream is not None:
             stream.leave(stream_req)
         self._kernels_counter.inc()
+        self._l2_bytes_counter.inc(cost.l2_bytes)
         self._kernel_seconds_histogram.observe(cost.seconds)
         self.node.power.add_gpu_busy(cost.seconds, start=start)
         self.node.dram.record_gpu_traffic(cost.dram_bytes)
@@ -245,6 +256,7 @@ class CudaContext:
             l2_utilization=cost.l2_utilization,
             l2_read_throughput=cost.l2_read_throughput,
             memory_stall_fraction=cost.memory_stall_fraction,
+            l2_bytes=cost.l2_bytes,
         )
         self.profiler.record_kernel(record)
         return record
@@ -256,4 +268,5 @@ class CudaContext:
             kernel.dram_bytes,
             precision=kernel.precision,
             bypass_cache=bypass_cache,
+            l2_bytes=kernel.l2_bytes,
         )

@@ -39,6 +39,7 @@ from repro.insight.decompose import (
 from repro.insight.ops import OpStreams, RankOp, extract_ops, match_messages
 from repro.insight.report import (
     RENDERERS,
+    ROOFLINE_MODES,
     InsightReport,
     build_report,
     render_json,
@@ -46,11 +47,28 @@ from repro.insight.report import (
     render_text,
     to_dict,
 )
+from repro.insight.ridgeline import (
+    MigrationRow,
+    RankPoint,
+    RidgelinePlacement,
+    ceiling_migration_sweep,
+    format_migration_sweep,
+    format_ridgeline,
+    format_ridgeline_markdown,
+    render_ridgeline_svg,
+    ridgeline_from_run,
+    ridgeline_to_dict,
+)
 from repro.insight.roofline import (
+    HierarchicalPlacement,
     MeasuredIntensities,
     RooflinePlacement,
+    export_placement_gauges,
+    intensities_from_run,
     intensities_from_telemetry,
+    place_hier_from_run,
     place_run,
+    place_run_hier,
 )
 
 __all__ = [
@@ -58,19 +76,25 @@ __all__ = [
     "BASELINE_WORKLOADS",
     "DEFAULT_TOLERANCE",
     "RENDERERS",
+    "ROOFLINE_MODES",
     "SEGMENT_KINDS",
     "CriticalPath",
     "CriticalSegment",
     "Drift",
     "EfficiencyCrossCheck",
+    "HierarchicalPlacement",
     "InsightReport",
     "MeasuredIntensities",
+    "MigrationRow",
     "OpStreams",
     "RankActivity",
     "RankOp",
+    "RankPoint",
+    "RidgelinePlacement",
     "RooflinePlacement",
     "SpanBreakdown",
     "build_report",
+    "ceiling_migration_sweep",
     "collect_baseline",
     "compare_baseline",
     "critical_path",
@@ -78,15 +102,25 @@ __all__ = [
     "cross_check",
     "decompose",
     "decompose_streams",
+    "export_placement_gauges",
     "extract_ops",
     "format_drift_report",
+    "format_migration_sweep",
+    "format_ridgeline",
+    "format_ridgeline_markdown",
+    "intensities_from_run",
     "intensities_from_telemetry",
     "load_baseline",
     "match_messages",
+    "place_hier_from_run",
     "place_run",
+    "place_run_hier",
     "render_json",
     "render_markdown",
+    "render_ridgeline_svg",
     "render_text",
+    "ridgeline_from_run",
+    "ridgeline_to_dict",
     "to_dict",
     "write_baseline",
 ]

@@ -17,9 +17,23 @@ from typing import Any
 from repro.errors import ConfigurationError
 from repro.insight.critical_path import SEGMENT_KINDS, CriticalPath, critical_path
 from repro.insight.decompose import EfficiencyCrossCheck, cross_check
-from repro.insight.roofline import RooflinePlacement, place_run
+from repro.insight.ridgeline import (
+    RidgelinePlacement,
+    format_ridgeline_markdown,
+    ridgeline_from_run,
+    ridgeline_to_dict,
+)
+from repro.insight.roofline import (
+    HierarchicalPlacement,
+    RooflinePlacement,
+    place_run,
+    place_run_hier,
+)
 from repro.telemetry.sink import Telemetry
 from repro.units import to_gbyte_s, to_gflops
+
+#: Roofline view selector for ``build_report`` / ``repro report --roofline``.
+ROOFLINE_MODES = ("flat", "hier", "2d")
 
 
 @dataclass(frozen=True)
@@ -37,6 +51,10 @@ class InsightReport:
     efficiency: EfficiencyCrossCheck
     #: ``None`` for CPU-only workloads (no GPGPU ceilings to place under).
     placement: RooflinePlacement | None
+    #: Per-level placement; set for GPGPU runs with ``roofline != "flat"``.
+    hier: HierarchicalPlacement | None = None
+    #: Per-rank 2D placement; set for GPGPU runs with ``roofline == "2d"``.
+    ridgeline: RidgelinePlacement | None = None
 
 
 def build_report(
@@ -44,8 +62,15 @@ def build_report(
     nodes: int = 4,
     network: str = "10G",
     system: str = "tx1",
+    roofline: str = "flat",
 ) -> InsightReport:
-    """Run *workload* instrumented and assemble its report."""
+    """Run *workload* instrumented and assemble its report.
+
+    ``roofline`` widens the roofline section: ``"flat"`` keeps the single
+    DRAM + network placement, ``"hier"`` adds the per-level hierarchy and
+    its binding level, ``"2d"`` additionally places every rank on the
+    OI × NI plane (and lets the CLI render the figure).
+    """
     from repro.bench.runner import run_workload
     from repro.workloads import ALL_NAMES, GPGPU_NAMES
 
@@ -54,14 +79,25 @@ def build_report(
             f"unknown workload {workload!r}; known workloads: "
             f"{', '.join(sorted(ALL_NAMES))}"
         )
+    if roofline not in ROOFLINE_MODES:
+        raise ConfigurationError(
+            f"unknown roofline mode {roofline!r}; choose from "
+            f"{', '.join(ROOFLINE_MODES)}"
+        )
     telemetry = Telemetry(sample_interval=0.0)
     run = run_workload(
         workload, nodes=nodes, network=network, system=system,
         traced=True, use_cache=False, telemetry=telemetry,
     )
     placement = None
+    hier = None
+    ridgeline = None
     if workload in GPGPU_NAMES:
         placement = place_run(telemetry, run.cluster, name=workload)
+        if roofline in ("hier", "2d"):
+            hier = place_run_hier(telemetry, run.cluster, name=workload)
+        if roofline == "2d":
+            ridgeline = ridgeline_from_run(run, name=workload)
     return InsightReport(
         workload=workload,
         nodes=run.cluster.node_count,
@@ -74,6 +110,8 @@ def build_report(
         efficiency=cross_check(telemetry, run.trace,
                                rank_to_node=run.rank_to_node),
         placement=placement,
+        hier=hier,
+        ridgeline=ridgeline,
     )
 
 
@@ -136,6 +174,21 @@ def to_dict(report: InsightReport) -> dict[str, Any]:
                 "network_gbyte_s": to_gbyte_s(placement.model.network_bandwidth),
             },
         }
+    hier = report.hier
+    if hier is not None:
+        document["roofline_hier"] = {
+            "binding_level": hier.binding_level,
+            "level_intensities": hier.level_intensities,
+            "network_intensity": hier.measured.network_intensity,
+            "attainable_gflops": to_gflops(hier.attainable_flops),
+            "percent_of_roof": hier.percent_of_roof,
+            "binding_headroom": hier.binding_headroom,
+            "ceilings": {
+                lvl.name: to_gbyte_s(lvl.bandwidth) for lvl in hier.hier.levels
+            },
+        }
+    if report.ridgeline is not None:
+        document["ridgeline"] = ridgeline_to_dict(report.ridgeline)
     return document
 
 
@@ -196,6 +249,33 @@ def render_text(report: InsightReport) -> str:
             f"{to_gflops(placement.attainable_flops):.2f} GFLOPS roof, "
             f"headroom x{placement.binding_headroom:.2f})"
         )
+    hier = report.hier
+    if hier is not None:
+        lines.append("")
+        lines.append("hierarchical roofline (per-level ceilings):")
+        intensities = hier.level_intensities
+        for lvl in hier.hier.levels:
+            marker = "*" if hier.binding_level == lvl.name else " "
+            lines.append(
+                f" {marker} {lvl.name:<8}: OI={intensities[lvl.name]:10.3f} F/B  "
+                f"roof {to_gbyte_s(lvl.bandwidth):7.1f} GB/s"
+            )
+        marker = "*" if hier.binding_level == "network" else " "
+        lines.append(
+            f" {marker} network : NI={hier.measured.network_intensity:10.2f} F/B  "
+            f"roof {to_gbyte_s(hier.hier.network_bandwidth):7.2f} GB/s"
+        )
+        lines.append(
+            f"  binding level: {hier.binding_level} "
+            f"({hier.percent_of_roof:.1f} % of "
+            f"{to_gflops(hier.attainable_flops):.2f} GFLOPS bound, "
+            f"headroom x{hier.binding_headroom:.2f})"
+        )
+    if report.ridgeline is not None:
+        from repro.insight.ridgeline import format_ridgeline
+
+        lines.append("")
+        lines.append(format_ridgeline(report.ridgeline).rstrip("\n"))
     return "\n".join(lines) + "\n"
 
 
@@ -263,6 +343,39 @@ def render_markdown(report: InsightReport) -> str:
             f"| {to_gbyte_s(placement.model.memory_bandwidth):.1f} GB/s "
             f"| {to_gbyte_s(placement.model.network_bandwidth):.2f} GB/s |",
         ]
+    hier = report.hier
+    if hier is not None:
+        intensities = hier.level_intensities
+        lines += [
+            "",
+            "## Roofline 2.0 (hierarchical)",
+            "",
+            f"Binding level: **{hier.binding_level}** "
+            f"({hier.percent_of_roof:.1f} % of the "
+            f"{to_gflops(hier.attainable_flops):.2f} GFLOPS bound; "
+            f"headroom x{hier.binding_headroom:.2f}).",
+            "",
+            "| level | intensity (F/B) | roof (GB/s) | binding |",
+            "|---|---|---|---|",
+        ]
+        for lvl in hier.hier.levels:
+            binds = "yes" if hier.binding_level == lvl.name else "no"
+            lines.append(
+                f"| {lvl.name} | {intensities[lvl.name]:.3f} "
+                f"| {to_gbyte_s(lvl.bandwidth):.1f} | {binds} |"
+            )
+        binds = "yes" if hier.binding_level == "network" else "no"
+        lines.append(
+            f"| network | {hier.measured.network_intensity:.2f} "
+            f"| {to_gbyte_s(hier.hier.network_bandwidth):.2f} | {binds} |"
+        )
+    if report.ridgeline is not None:
+        lines += [
+            "",
+            "## Ridgeline (per-rank 2D placement)",
+            "",
+        ]
+        lines += format_ridgeline_markdown(report.ridgeline)
     return "\n".join(lines) + "\n"
 
 

@@ -18,9 +18,14 @@ from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.core import (
+    DRAM_LEVEL,
+    L2_LEVEL,
+    NETWORK_LEVEL,
     ExtendedRoofline,
+    HierarchicalRoofline,
     LimitingFactor,
     RooflinePoint,
+    hierarchical_roofline_for_cluster,
     roofline_for_cluster,
 )
 from repro.errors import AnalysisError
@@ -37,16 +42,56 @@ class MeasuredIntensities:
     dram_bytes: float
     network_bytes: float
     elapsed_seconds: float
+    #: L2-level kernel traffic (trailing with a default: older callers
+    #: construct this positionally without it).
+    l2_bytes: float = 0.0
 
     @property
     def operational_intensity(self) -> float:
         """Eq. 1 from measured counters (FLOP/byte)."""
+        if self.dram_bytes <= 0:
+            raise AnalysisError(
+                "no DRAM traffic measured (kernel spans and "
+                "cuda_copy_bytes_total recorded zero bytes): operational "
+                "intensity is undefined"
+            )
         return self.flops / self.dram_bytes
 
     @property
     def network_intensity(self) -> float:
         """Eq. 2 from measured counters (FLOP/byte)."""
+        if self.network_bytes <= 0:
+            raise AnalysisError(
+                "no network traffic measured (fabric_bytes_total recorded "
+                "zero bytes): network intensity is undefined"
+            )
         return self.flops / self.network_bytes
+
+    @property
+    def l2_intensity(self) -> float:
+        """Per-level Eq. 1 for the GPU L2 (FLOP/byte)."""
+        if self.l2_bytes <= 0:
+            raise AnalysisError(
+                "no L2 traffic measured (cuda_l2_bytes_total recorded zero "
+                "bytes): L2-level intensity is undefined"
+            )
+        return self.flops / self.l2_bytes
+
+    def level_bytes(self, level: str) -> float:
+        """The measured byte counter behind one memory level."""
+        if level == DRAM_LEVEL:
+            return self.dram_bytes
+        if level == L2_LEVEL:
+            return self.l2_bytes
+        raise AnalysisError(f"no measured byte counter for level {level!r}")
+
+    def level_intensity(self, level: str) -> float:
+        """One level's operational intensity (guarded like the flat Eq. 1)."""
+        if level == DRAM_LEVEL:
+            return self.operational_intensity
+        if level == L2_LEVEL:
+            return self.l2_intensity
+        raise AnalysisError(f"no measured byte counter for level {level!r}")
 
 
 @dataclass(frozen=True)
@@ -91,6 +136,100 @@ class RooflinePlacement:
         return high / low if low > 0 else float("inf")
 
 
+@dataclass(frozen=True)
+class HierarchicalPlacement:
+    """One run placed under a per-level ceiling hierarchy.
+
+    ``point`` is the run's DRAM-level point under the hierarchy's flat
+    projection — by construction identical to what :func:`place_run`
+    computes, which is the consistency cross-check the acceptance criteria
+    demand — while the per-level intensities and the binding level come
+    from the full hierarchy.
+    """
+
+    point: RooflinePoint
+    measured: MeasuredIntensities
+    hier: HierarchicalRoofline
+
+    @property
+    def dram_placement(self) -> RooflinePlacement:
+        """The flat (DRAM + network) view of this run, for cross-checking."""
+        return RooflinePlacement(point=self.point, measured=self.measured)
+
+    @property
+    def level_intensities(self) -> dict[str, float]:
+        """Operational intensity per memory level, nearest-first."""
+        return {
+            name: self.measured.level_intensity(name)
+            for name in self.hier.level_names
+        }
+
+    @property
+    def binding_level(self) -> str:
+        """The binding bandwidth ceiling: a level name or ``"network"``."""
+        return self.hier.binding_level(
+            self.level_intensities, self.measured.network_intensity
+        )
+
+    @property
+    def attainable_flops(self) -> float:
+        """The hierarchy's bound at this run's intensities, per node."""
+        return self.hier.attainable(
+            self.level_intensities, self.measured.network_intensity
+        )
+
+    @property
+    def percent_of_roof(self) -> float:
+        """Attained throughput as a percentage of the hierarchical bound."""
+        bound = self.attainable_flops
+        return 100.0 * self.point.throughput / bound if bound > 0 else 0.0
+
+    @property
+    def binding_headroom(self) -> float:
+        """Second-lowest bandwidth roof over the binding roof.
+
+        > 1 means the binding level is comfortably the bottleneck; ~1 means
+        the run sits near a crossover and a small batch/scale change will
+        migrate the binding level.
+        """
+        roofs = [
+            self.hier.level(name).bandwidth * oi
+            for name, oi in self.level_intensities.items()
+        ]
+        roofs.append(
+            self.hier.network_bandwidth * self.measured.network_intensity
+        )
+        roofs.sort()
+        return roofs[1] / roofs[0] if roofs[0] > 0 else float("inf")
+
+
+def export_placement_gauges(telemetry, placement: HierarchicalPlacement) -> None:
+    """Surface a hierarchical placement as ``Registry`` gauges.
+
+    ``roofline_level_intensity{level=...}`` carries each level's measured
+    intensity (plus the network intensity under ``level="network"``) and
+    ``roofline_binding_level{level=...}`` is 1 on the binding ceiling and 0
+    elsewhere, so the Prometheus text export names the bottleneck per run.
+    """
+    intensity = telemetry.gauge(
+        "roofline_level_intensity",
+        "measured per-level intensity of the placed run",
+        unit="flop_per_byte",
+        labelnames=("level",),
+    )
+    for name, value in placement.level_intensities.items():
+        intensity.set(value, level=name)
+    intensity.set(placement.measured.network_intensity, level=NETWORK_LEVEL)
+    binding = telemetry.gauge(
+        "roofline_binding_level",
+        "1 on the binding bandwidth ceiling, 0 elsewhere",
+        labelnames=("level",),
+    )
+    chosen = placement.binding_level
+    for name in (*placement.hier.level_names, NETWORK_LEVEL):
+        binding.set(1.0 if name == chosen else 0.0, level=name)
+
+
 def intensities_from_telemetry(telemetry: Telemetry) -> MeasuredIntensities:
     """Derive Eq. 1/2 inputs from a recorded sink's spans and counters.
 
@@ -101,11 +240,13 @@ def intensities_from_telemetry(telemetry: Telemetry) -> MeasuredIntensities:
     """
     flops = 0.0
     kernel_dram = 0.0
+    kernel_l2 = 0.0
     kernels = 0
     for span in telemetry.spans:
         if span.category == "cuda" and _KERNEL_NAME.match(span.name):
             flops += float(span.args.get("flops", 0.0))
             kernel_dram += float(span.args.get("dram_bytes", 0.0))
+            kernel_l2 += float(span.args.get("l2_bytes", 0.0))
             kernels += 1
     if kernels == 0 or flops <= 0:
         raise AnalysisError(
@@ -127,6 +268,9 @@ def intensities_from_telemetry(telemetry: Telemetry) -> MeasuredIntensities:
         dram_bytes=kernel_dram + copy_bytes,
         network_bytes=network_bytes,
         elapsed_seconds=elapsed,
+        # Copies reach DRAM through the DMA path, not the GPU L2, so the
+        # L2-level counter is kernel traffic only.
+        l2_bytes=kernel_l2,
     )
 
 
@@ -149,6 +293,79 @@ def place_run(
         model=model,
     )
     return RooflinePlacement(point=point, measured=measured)
+
+
+def place_run_hier(
+    telemetry: Telemetry,
+    cluster: Cluster,
+    name: str = "run",
+    model: HierarchicalRoofline | None = None,
+) -> HierarchicalPlacement:
+    """Place a recorded run under *cluster*'s per-level ceiling hierarchy.
+
+    The DRAM-level point is computed against the hierarchy's flat
+    projection, so it agrees exactly with :func:`place_run` on the same
+    sink.  The placement is also exported back into the sink's registry as
+    gauges (:func:`export_placement_gauges`), so a subsequent Prometheus
+    text export names the binding level.
+    """
+    if model is None:
+        model = hierarchical_roofline_for_cluster(cluster)
+    measured = intensities_from_telemetry(telemetry)
+    placement = _place_hier(measured, model, name, cluster.node_count)
+    export_placement_gauges(telemetry, placement)
+    return placement
+
+
+def intensities_from_run(run) -> MeasuredIntensities:
+    """Eq. 1/2 inputs from an :class:`~repro.bench.runner.ExperimentRun`.
+
+    The campaign paths (warm store revivals, parallel workers) carry no
+    telemetry sink, so the same inputs are drawn from the job result and
+    its profilers: kernel L2 traffic from the profiler records, DRAM
+    traffic from the job's metered GPU + copy bytes (matching the span
+    derivation byte for byte).
+    """
+    result = run.result
+    if result.elapsed_seconds <= 0:
+        raise AnalysisError("run has no duration")
+    if result.gpu_flops <= 0:
+        raise AnalysisError("no GPU FLOPs measured: not a GPGPU run")
+    return MeasuredIntensities(
+        flops=result.gpu_flops,
+        dram_bytes=result.gpu_dram_bytes,
+        network_bytes=result.network_bytes,
+        elapsed_seconds=result.elapsed_seconds,
+        l2_bytes=sum(p.total_l2_bytes for p in result.gpu_profilers),
+    )
+
+
+def place_hier_from_run(
+    run,
+    name: str = "run",
+    model: HierarchicalRoofline | None = None,
+) -> HierarchicalPlacement:
+    """Hierarchical placement of an :class:`ExperimentRun` (no sink needed)."""
+    if model is None:
+        model = hierarchical_roofline_for_cluster(run.cluster)
+    measured = intensities_from_run(run)
+    return _place_hier(measured, model, name, run.cluster.node_count)
+
+
+def _place_hier(
+    measured: MeasuredIntensities,
+    model: HierarchicalRoofline,
+    name: str,
+    nodes: int,
+) -> HierarchicalPlacement:
+    point = RooflinePoint(
+        name=name,
+        operational_intensity=measured.operational_intensity,
+        network_intensity=measured.network_intensity,
+        throughput=(measured.flops / measured.elapsed_seconds) / nodes,
+        model=model.flat(),
+    )
+    return HierarchicalPlacement(point=point, measured=measured, hier=model)
 
 
 def _counter_total(telemetry: Telemetry, name: str) -> float:

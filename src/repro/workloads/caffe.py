@@ -55,6 +55,20 @@ class NetworkSpec:
             + self.weight_bytes / batch_size
         )
 
+    def l2_bytes_per_image(self) -> float:
+        """L2-level traffic per image: inflated activations + full weights.
+
+        Batching amortizes the *DRAM* cost of the weights (fetched once per
+        batch) but not the L2 cost — every image's GEMMs re-read the whole
+        weight set through the L2 — so the per-image L2 traffic is constant
+        in the batch size.  This asymmetry is what migrates the binding
+        ceiling from DRAM to L2 as the batch grows.
+        """
+        return (
+            self.IM2COL_INFLATION * self.activation_bytes_per_image
+            + self.weight_bytes
+        )
+
 
 def _alexnet_layers() -> list[nn.LayerCost]:
     """AlexNet (single-column): ~61 M params, ~0.7 GMAC per image."""
@@ -251,6 +265,7 @@ class ImageClassificationWorkload(Workload):
             dram_bytes=self.net.dram_bytes_per_image(self.batch_size)
             * self.batch_size,
             precision="single",
+            l2_bytes=self.net.l2_bytes_per_image() * self.batch_size,
         )
 
         def producer(batches: int):
