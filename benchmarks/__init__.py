@@ -26,4 +26,21 @@ ceiling, measured at 4 nodes / 10 GbE by ``repro.insight.baseline``:
   ``repro bench --check`` with unchanged sources reads rows back instead
   of re-simulating.  Any edit under ``src/repro`` moves the source
   fingerprint and invalidates every cached row.
+
+The host-throughput baseline
+----------------------------
+
+``BENCH_seed.json`` guards the *simulated* numbers; the committed
+``BENCH_HOST.json`` guards the *simulator's own* event accounting.
+``python -m repro profile --bench`` measures a fixed workload set with a
+``repro.hostprof.HostProfiler`` attached and records two kinds of fields:
+deterministic counts (events dispatched, process switches, fabric flow
+rounds, MPI hops, telemetry spans/samples, heap/flow high-water marks)
+that ``repro profile --check`` compares **exactly** — an unintended
+change to the event flow fails CI — and advisory wall-clock throughput
+(sim-s per wall-s, events/s, sweep runs-per-minute) recorded for
+trend-watching but never gated, since wall time is machine-dependent.
+Re-run ``--bench`` and commit the diff when a PR intentionally changes
+how many events a workload schedules.  See ``docs/TELEMETRY.md`` ("Host
+profiling").
 """

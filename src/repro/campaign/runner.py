@@ -427,6 +427,8 @@ def run_campaign(
     chaos: ChaosSchedule | None = None,
     retry_policy: RetryPolicy | None = None,
     sleep: Any = None,
+    host: Any = None,
+    progress: Any = None,
 ) -> CampaignResult:
     """Execute *specs* under supervision, warm-starting from *store*.
 
@@ -445,6 +447,14 @@ def run_campaign(
     ``resume=True`` replays a prior interrupted run, re-executing only
     undecided specs.  *chaos* injects a deterministic fault schedule (see
     :mod:`repro.campaign.chaos`).
+
+    Host observability (both purely advisory — attach either and every
+    table, cache entry, and journal row stays byte-identical apart from
+    the extra ``host`` journal field): *host* is a
+    :class:`repro.hostprof.CampaignHostRecorder` collecting per-spec
+    wall/queue-wait/worker timings, surfaced as ``campaign_host_*``
+    registry metrics; *progress* is a callable fired with each terminal
+    :class:`SpecRecord` as it is decided (the ``--progress`` heartbeat).
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -487,19 +497,25 @@ def run_campaign(
             record = record_from_journal(spec, entry)
             rows[spec.digest] = _row_from_record(spec, record)
             resumed += 1
+            if progress is not None:
+                progress(record)
             continue
         payload = (
             store.get("run", spec.digest, spec.fingerprint)
             if store is not None else None
         )
         if payload is not None:
-            rows[spec.digest] = _merge_row(spec, summarize_payload(payload), True)
+            row = summarize_payload(payload)
+            rows[spec.digest] = _merge_row(spec, row, True)
             hits += 1
+            record = SpecRecord(
+                spec=spec, outcome=OUTCOME_OK, attempts=1,
+                row=row, cached=True,
+            )
             if journal is not None:
-                journal.record(SpecRecord(
-                    spec=spec, outcome=OUTCOME_OK, attempts=1,
-                    row=summarize_payload(payload), cached=True,
-                ))
+                journal.record(record)
+            if progress is not None:
+                progress(record)
         else:
             pending.append(spec)
 
@@ -512,6 +528,8 @@ def run_campaign(
         chaos=chaos,
         journal=journal,
         sleep=sleep,
+        host=host,
+        progress=progress,
     )
     records = supervisor.run()
     for digest, record in records.items():
@@ -567,6 +585,8 @@ def run_campaign(
     registry.gauge(
         "campaign_workers_used", "worker processes that executed >= 1 run",
     ).set(len(supervisor.pids))
+    if host is not None:
+        host.register_metrics(registry)
     merged = [rows[spec.digest] for spec in ordered]
     intensity_gauge = registry.gauge(
         "campaign_roofline_intensity",

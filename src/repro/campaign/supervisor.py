@@ -50,6 +50,7 @@ from repro.campaign.chaos import ChaosSchedule, apply_chaos
 from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore, _advise
 from repro.errors import CampaignError, ConfigurationError, WorkerLostError
+from repro.hostprof.clock import Stopwatch
 
 #: Per-spec terminal outcomes (the supervisor's taxonomy).
 OUTCOME_OK = "ok"
@@ -111,6 +112,8 @@ class SpecRecord:
     row: dict[str, Any] | None
     cached: bool = False
     error: str | None = None
+    #: Host-clock timings (wall/queue-wait/busy) when a recorder rode along.
+    host: dict[str, Any] | None = None
 
     @property
     def completed(self) -> bool:
@@ -215,6 +218,10 @@ class CampaignJournal:
             "row": record.row,
             "error": record.error,
         }
+        if record.host is not None:
+            # Advisory host timings ride along only when measured, so
+            # journals written without a recorder stay byte-identical.
+            entry["host"] = record.host
         try:
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -237,6 +244,7 @@ def record_from_journal(spec: RunSpec, entry: dict[str, Any]) -> SpecRecord:
         row=entry.get("row"),
         cached=True,
         error=entry.get("error"),
+        host=entry.get("host"),
     )
 
 
@@ -251,6 +259,9 @@ def _campaign_worker(task: dict[str, Any]) -> dict[str, Any]:
             ChaosSchedule.from_dict(chaos), spec.digest,
             task.get("attempt", 0), in_worker=True,
         )
+    # Worker-side busy time, measured only when the campaign carries a
+    # host recorder (the read stays inside the Stopwatch instance).
+    stopwatch = Stopwatch() if task.get("host") else None
     root = task["root"]
     store = ResultStore(root) if root is not None else None
     cached = False
@@ -266,6 +277,7 @@ def _campaign_worker(task: dict[str, Any]) -> dict[str, Any]:
         "row": row,
         "cached": cached,
         "pid": os.getpid(),
+        "host_wall": stopwatch.elapsed() if stopwatch is not None else None,
     }
 
 
@@ -290,6 +302,8 @@ class CampaignSupervisor:
         chaos: ChaosSchedule | None = None,
         journal: CampaignJournal | None = None,
         sleep: Callable[[float], None] | None = None,
+        host: Any | None = None,
+        progress: Callable[[SpecRecord], None] | None = None,
     ) -> None:
         if task_timeout is not None and task_timeout <= 0:
             raise ConfigurationError(
@@ -302,6 +316,11 @@ class CampaignSupervisor:
         self.task_timeout = task_timeout
         self.chaos = chaos
         self.journal = journal
+        #: Optional CampaignHostRecorder; purely observational (advisory
+        #: host timings — never steers scheduling or results).
+        self.host = host
+        #: Optional per-terminal-record callback (the --progress heartbeat).
+        self.progress = progress
         self.sleep = sleep if sleep is not None else time.sleep
         self.records: dict[str, SpecRecord] = {}
         self.pids: set[int] = set()
@@ -324,6 +343,8 @@ class CampaignSupervisor:
         return self._failures.get(digest, 0)
 
     def _finalize(self, record: SpecRecord) -> None:
+        if self.host is not None and record.host is None:
+            record.host = self.host.journal_entry(record.spec.digest)
         self.records[record.spec.digest] = record
         # Both terminal failure outcomes count as quarantines: the spec is
         # out of the campaign either way; the row keeps the finer taxonomy.
@@ -331,6 +352,8 @@ class CampaignSupervisor:
             self.counters["quarantined"] += 1
         if self.journal is not None:
             self.journal.record(record)
+        if self.progress is not None:
+            self.progress(record)
 
     def _succeeded(self, spec: RunSpec, row: dict[str, Any], cached: bool) -> None:
         failures = self._attempts(spec.digest)
@@ -369,6 +392,8 @@ class CampaignSupervisor:
 
         while True:
             attempt = self._attempts(spec.digest)
+            if self.host is not None:
+                self.host.spec_submitted(spec.digest, spec.label)
             try:
                 if self.chaos is not None:
                     apply_chaos(
@@ -380,6 +405,8 @@ class CampaignSupervisor:
                     return
             else:
                 self.pids.add(os.getpid())
+                if self.host is not None:
+                    self.host.spec_done(spec.digest, os.getpid())
                 self._succeeded(spec, row, cached=False)
                 return
 
@@ -391,6 +418,7 @@ class CampaignSupervisor:
             "root": str(self.store.root) if self.store is not None else None,
             "attempt": self._attempts(spec.digest),
             "chaos": self.chaos.to_dict() if self.chaos is not None else None,
+            "host": self.host is not None,
         }
 
     def _terminate_pool(self, pool: ProcessPoolExecutor) -> None:
@@ -428,6 +456,8 @@ class CampaignSupervisor:
                         queue.appendleft(spec)
                         submit_broken = True
                         break
+                    if self.host is not None:
+                        self.host.spec_submitted(spec.digest, spec.label)
                     futures[future] = spec
                     sequence[future] = submitted
                     waited[future] = 0.0
@@ -483,6 +513,11 @@ class CampaignSupervisor:
                             queue.append(spec)
                     else:
                         self.pids.add(outcome["pid"])
+                        if self.host is not None:
+                            self.host.spec_done(
+                                spec.digest, outcome["pid"],
+                                outcome.get("host_wall"),
+                            )
                         self._succeeded(spec, outcome["row"], outcome["cached"])
                 if broken:
                     # The pool is gone and the culprit is anonymous: every
@@ -513,6 +548,8 @@ class CampaignSupervisor:
             spec = pending.popleft()
             with ProcessPoolExecutor(max_workers=1) as solo:
                 future = solo.submit(_campaign_worker, self._task(spec))
+                if self.host is not None:
+                    self.host.spec_submitted(spec.digest, spec.label)
                 waited = 0.0
                 while True:
                     done, _ = wait(
@@ -558,6 +595,11 @@ class CampaignSupervisor:
                         pending.append(spec)
                 else:
                     self.pids.add(outcome["pid"])
+                    if self.host is not None:
+                        self.host.spec_done(
+                            spec.digest, outcome["pid"],
+                            outcome.get("host_wall"),
+                        )
                     self._succeeded(spec, outcome["row"], outcome["cached"])
 
     def _handle_hang(

@@ -316,6 +316,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.hostprof import format_hotspot_table
+    from repro.hostprof.bench import (
+        collect_host_baseline,
+        compare_host_baseline,
+        format_host_check,
+        format_host_report_markdown,
+        load_host_baseline,
+        profile_workload,
+        write_host_baseline,
+    )
+
+    def write_hotspots(runs) -> None:
+        if args.hotspots_out:
+            with open(args.hotspots_out, "w", encoding="utf-8") as handle:
+                handle.write(format_host_report_markdown(runs))
+            print(f"wrote hotspot report to {args.hotspots_out}",
+                  file=sys.stderr)
+
+    if args.check:
+        baseline = load_host_baseline(args.baseline)
+        config = baseline.get("config", {})
+        current, runs = collect_host_baseline(
+            workloads=tuple(sorted(baseline.get("counts", {}))),
+            nodes=int(config.get("nodes", 4)),
+            network=str(config.get("network", "10G")),
+        )
+        write_hotspots(runs)
+        drifts = compare_host_baseline(baseline, current)
+        print(format_host_check(drifts))
+        return 1 if drifts else 0
+
+    if args.bench:
+        baseline, runs = collect_host_baseline(
+            nodes=args.nodes, network=args.network
+        )
+        path = write_host_baseline(args.baseline, baseline)
+        write_hotspots(runs)
+        print(f"wrote host baseline ({len(baseline['counts'])} workloads) "
+              f"to {path}")
+        return 0
+
+    run = profile_workload(
+        _require_workload(args.workload), nodes=args.nodes,
+        network=args.network,
+    )
+    write_hotspots([run])
+    wall = sum(run.profiler.wall.values())
+    rate = run.sim_seconds / wall if wall > 0 else 0.0
+    print(f"{run.name} (nodes={run.nodes}, {run.network}): "
+          f"sim {run.sim_seconds:.6f} s in {wall:.4f} wall s "
+          f"({rate:.1f} sim-s/wall-s)")
+    print()
+    print(format_hotspot_table(run.profiler))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.campaign import (
         ChaosSchedule,
@@ -356,16 +413,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ChaosSchedule.plan(specs, seed=args.chaos)
         if args.chaos is not None else None
     )
+    host = None
+    if args.host_trace is not None:
+        from repro.hostprof import CampaignHostRecorder
+
+        host = CampaignHostRecorder()
+    progress = None
+    if args.progress:
+        # Diagnostic heartbeat on stderr only: stdout (the table and
+        # stats the CI byte-compares) is untouched.
+        total = len(specs)
+        state = {"decided": 0, "hits": 0, "misses": 0, "quarantined": 0}
+
+        def progress(record) -> None:
+            state["decided"] += 1
+            state["hits" if record.cached else "misses"] += 1
+            if not record.completed:
+                state["quarantined"] += 1
+            print(
+                f"sweep progress: {state['decided']}/{total} specs decided "
+                f"({state['hits']} cache hits, {state['misses']} misses, "
+                f"{state['quarantined']} quarantined)",
+                file=sys.stderr, flush=True,
+            )
+
     supervision = {
         "retries": args.retries,
         "task_timeout": args.task_timeout,
         "resume": args.resume,
         "chaos": chaos,
+        "host": host,
+        "progress": progress,
     }
     if store is _DEFAULT_SWEEP_STORE:
         result = run_campaign(specs, jobs=args.jobs, **supervision)
     else:
         result = run_campaign(specs, jobs=args.jobs, store=store, **supervision)
+    if host is not None:
+        from repro.hostprof import write_host_trace
+
+        with open(args.host_trace, "w", encoding="utf-8") as handle:
+            write_host_trace(host, handle)
+        print(f"wrote host trace to {args.host_trace}", file=sys.stderr)
     print(format_campaign_table(result))
     print()
     print(format_campaign_stats(result))
@@ -570,6 +659,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--nodes", type=int, default=4)
     bench_p.add_argument("--network", choices=("1G", "10G"), default="10G")
 
+    profile_p = sub.add_parser(
+        "profile",
+        help="profile the simulator itself: host wall-time per subsystem",
+    )
+    profile_p.add_argument("workload", nargs="?", default="cloverleaf",
+                           help="workload to profile (see `repro list`)")
+    profile_p.add_argument("--nodes", type=int, default=4)
+    profile_p.add_argument("--network", choices=("1G", "10G"), default="10G")
+    profile_p.add_argument("--bench", action="store_true",
+                           help="measure the fixed workload set and write "
+                                "the host-throughput baseline")
+    profile_p.add_argument("--check", action="store_true",
+                           help="re-measure and fail when a deterministic "
+                                "count field drifts (wall fields are "
+                                "advisory and never gated)")
+    profile_p.add_argument("--baseline", default="BENCH_HOST.json",
+                           metavar="FILE",
+                           help="host baseline JSON to write (or check "
+                                "against)")
+    profile_p.add_argument("--hotspots-out", default=None, metavar="FILE",
+                           help="also write the per-workload hotspot "
+                                "Markdown report here")
+
     faults_p = sub.add_parser(
         "faults",
         help="rerun a benchmark under an injected fault schedule",
@@ -653,6 +765,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="inject a seeded fault schedule (worker crash, "
                               "hang, in-task failure, corrupted store entry) "
                               "to exercise the recovery machinery")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="stderr heartbeat per decided spec "
+                              "(decided/total, cache hits/misses, "
+                              "quarantined); stdout is unchanged")
+    sweep_p.add_argument("--host-trace", default=None, metavar="FILE",
+                         help="record host-clock worker timelines and write "
+                              "them as a Chrome trace (one lane per worker)")
 
     from repro.lint.cli import add_lint_arguments
 
@@ -673,6 +792,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
         "lint": _cmd_lint,
         "faults": _cmd_faults,
         "telemetry": _cmd_telemetry,

@@ -369,15 +369,13 @@ def _place_hier(
 
 
 def _counter_total(telemetry: Telemetry, name: str) -> float:
-    instrument = telemetry.registry.get(name)
-    if instrument is None:
+    if name not in telemetry.registry:
         return 0.0
-    return sum(value for _, value in instrument.series())
+    return sum(value for _, value in telemetry.registry.get(name).series())
 
 
 def _gauge_value(telemetry: Telemetry, name: str) -> float:
-    instrument = telemetry.registry.get(name)
-    if instrument is None:
+    if name not in telemetry.registry:
         return 0.0
-    values = [value for _, value in instrument.series()]
+    values = [value for _, value in telemetry.registry.get(name).series()]
     return values[-1] if values else 0.0

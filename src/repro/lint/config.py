@@ -20,6 +20,12 @@ Keys (all optional):
 ``taint-exempt``
     Path fragments exempt from the interprocedural determinism rule
     (RL100).
+``wallclock-exempt``
+    Path fragments where direct wall-clock reads are allowed (RL001's
+    wall-clock check is skipped; RNG checks still apply).  Scoped to
+    ``repro/hostprof/`` — the host-observability package is the only
+    blessed clock-domain crossing, and RL500 keeps simulation-domain
+    packages from importing it.
 ``process-roots``
     Module names treated as campaign-worker entry points for the
     process-safety rule (RL300); every module importable from a root is
@@ -67,6 +73,7 @@ class LintConfig:
     float_eq_paths: tuple[str, ...] = DEFAULT_FLOAT_EQ_PATHS
     diagnostic_exempt: tuple[str, ...] = DEFAULT_DIAGNOSTIC_EXEMPT
     taint_exempt: tuple[str, ...] = ()
+    wallclock_exempt: tuple[str, ...] = ()
     process_roots: tuple[str, ...] = DEFAULT_PROCESS_ROOTS
     #: Baseline file path relative to the config root; '' disables it.
     baseline: str = ""
@@ -153,6 +160,7 @@ def load_config(pyproject: Path | str) -> LintConfig:
         "float-eq-paths": "float_eq_paths",
         "diagnostic-exempt": "diagnostic_exempt",
         "taint-exempt": "taint_exempt",
+        "wallclock-exempt": "wallclock_exempt",
         "process-roots": "process_roots",
         "baseline": "baseline",
     }

@@ -103,9 +103,12 @@ class DeterminismRule(Rule):
     )
 
     def check(self, ctx: FileContext, config: LintConfig) -> Iterator[Finding]:
+        # The scoped wall-clock exemption (repro/hostprof/): host-side
+        # profiling reads the real clock by design; RNG checks still apply.
+        wallclock_ok = ctx.in_scope(config.wallclock_exempt)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
-                yield from self._check_call(ctx, node)
+                yield from self._check_call(ctx, node, wallclock_ok)
             elif isinstance(node, (ast.For, ast.comprehension)):
                 iterable = node.iter
                 anchor = node if isinstance(node, ast.For) else iterable
@@ -116,18 +119,21 @@ class DeterminismRule(Rule):
                         "sort it (or use a list/dict) before it feeds scheduling",
                     )
 
-    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, wallclock_ok: bool = False
+    ) -> Iterator[Finding]:
         fn = dotted_name(node.func)
         if fn is None:
             return
         parts = fn.split(".")
         tail2 = ".".join(parts[-2:])
         if tail2 in _WALL_CLOCK:
-            yield self.finding(
-                ctx, node,
-                f"wall-clock read {fn}(): simulated time must come from "
-                "Environment.now",
-            )
+            if not wallclock_ok:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read {fn}(): simulated time must come from "
+                    "Environment.now",
+                )
             return
         if len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_RNG:
             yield self.finding(

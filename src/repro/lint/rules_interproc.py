@@ -1,4 +1,4 @@
-"""The whole-program rule families: RL100–RL400.
+"""The whole-program rule families: RL100–RL500.
 
 ==========  =================  ====================================================
 Family      Name               Protects
@@ -19,10 +19,15 @@ RL300       process-safety     campaign workers against module-level mutable
 RL400       span-balance       the telemetry timeline against half-open spans: a
                                ``.span(...)``/``.async_span(...)`` opened outside
                                a ``with`` block is not closed on exception paths
+RL500       clock-domain       the two-clock firewall: simulation-domain packages
+                               (``repro.sim``/``mpi``/``network``/``workloads``)
+                               must never import ``repro.hostprof`` — the
+                               wall-clock-exempt host-observability layer depends
+                               on the simulator, never the reverse
 ==========  =================  ====================================================
 
-RL100–RL300 are :class:`~repro.lint.engine.ProjectRule`\\ s — they need the
-project graph; RL400 is per-file.  All four ride the standard
+RL100–RL300 and RL500 are :class:`~repro.lint.engine.ProjectRule`\\ s — they
+need the project graph; RL400 is per-file.  All five ride the standard
 Finding/noqa/baseline machinery.
 """
 
@@ -211,6 +216,67 @@ class ProcessSafetyRule(ProjectRule):
                         f"{target.id!r}: cached objects escaping their "
                         "defensive snapshot can be mutated by one caller "
                         "and observed by the next — return a copy",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RL500 — clock-domain firewall
+# ---------------------------------------------------------------------------
+
+#: Module prefixes that live on the simulated clock and must stay free of
+#: host-clock (``repro.hostprof``) dependencies.
+_SIM_DOMAIN_PREFIXES = (
+    "repro.sim", "repro.mpi", "repro.network", "repro.workloads",
+)
+_HOSTPROF_PREFIX = "repro.hostprof"
+
+
+def _in_domain(module_name: str, prefixes) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+@register
+class ClockDomainRule(ProjectRule):
+    """RL500: simulation-domain modules must not import repro.hostprof."""
+
+    rule_id = "RL500"
+    name = "clock-domain"
+    summary = (
+        "repro.hostprof is the only wall-clock-exempt package; a "
+        "simulation-domain import of it would let host time leak into "
+        "simulated results, so the dependency arrow must stay one-way"
+    )
+
+    def check_project(
+        self, project: ProjectContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        graph = project.graph
+        for module_name in sorted(graph.modules):
+            if not _in_domain(module_name, _SIM_DOMAIN_PREFIXES):
+                continue
+            info = graph.modules[module_name]
+            # Walk the whole tree (not just the module body) so lazy
+            # in-function imports cannot tunnel under the firewall.
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and not node.level:
+                    names = [node.module or ""]
+                else:
+                    continue
+                for imported in names:
+                    if not _in_domain(imported, (_HOSTPROF_PREFIX,)):
+                        continue
+                    yield self.finding_at(
+                        info.path, node,
+                        f"simulation-domain module {module_name} imports "
+                        f"{imported}: the host-clock package must depend "
+                        "on the simulator, never the reverse — expose a "
+                        "nullable hook (Environment.set_host_profiler) "
+                        "instead",
                     )
 
 

@@ -106,12 +106,21 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...],
                    extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = list(zip(labelnames, labelvalues)) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
     return "{" + body + "}"
 
 

@@ -255,9 +255,23 @@ class Registry:
         """All instruments, name-sorted (the exporters' stable order)."""
         return [self._instruments[name] for name in sorted(self._instruments)]
 
-    def get(self, name: str) -> Instrument | None:
-        """Look up one instrument by name."""
-        return self._instruments.get(name)
+    def get(self, name: str) -> Instrument:
+        """Look up one instrument by name.
+
+        Raises :class:`TelemetryError` naming the registered instruments on
+        a miss, so a typo'd metric name fails loudly instead of silently
+        reading zeros.  Use ``name in registry`` to probe optionally.
+        """
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            known = ", ".join(sorted(self._instruments)) or "<none>"
+            raise TelemetryError(
+                f"unknown instrument {name!r}; registered instruments: {known}"
+            )
+        return instrument
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._instruments
 
     def __len__(self) -> int:
         return len(self._instruments)

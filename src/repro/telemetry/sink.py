@@ -120,6 +120,10 @@ class Telemetry:
 
     def _finish(self, record: SpanRecord) -> None:
         self.spans.append(record)
+        # getattr: the sink also binds to bare clock stand-ins in tests.
+        hp = getattr(self._env, "host_profiler", None)
+        if hp is not None:
+            hp.span_emitted()
 
     # -- instruments -----------------------------------------------------------
 
@@ -146,6 +150,9 @@ class Telemetry:
     def sample(self, track: str, name: str, value: float) -> None:
         """Append one time-series point at the current simulated time."""
         self.samples.append(SamplePoint(track, name, self.now, float(value)))
+        hp = getattr(self._env, "host_profiler", None)
+        if hp is not None:
+            hp.sample_emitted()
 
     # -- summaries -------------------------------------------------------------
 

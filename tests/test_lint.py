@@ -97,6 +97,12 @@ POSITIVE = {
         "def run(telemetry):\n"
         "    telemetry.span('compute')\n",
     ),
+    "RL500": (
+        "src/repro/sim/toy.py",
+        "from repro.hostprof.clock import read_clock\n\n\n"
+        "def step(env):\n"
+        "    return read_clock()\n",
+    ),
 }
 
 NEGATIVE = {
@@ -166,6 +172,14 @@ NEGATIVE = {
         "def run(telemetry):\n"
         "    with telemetry.span('compute'):\n"
         "        pass\n",
+    ),
+    "RL500": (
+        "src/repro/campaign/toy.py",
+        # Outside the sim domain the hostprof import is the point: the
+        # campaign layer owns the host-side recorder.
+        "from repro.hostprof.clock import Stopwatch\n\n\n"
+        "def time_task():\n"
+        "    return Stopwatch()\n",
     ),
 }
 
@@ -479,6 +493,16 @@ def _write_fixture_tree(root: Path) -> None:
         "def remember(key, value):\n"
         "    _CACHE[key] = value\n"
         "    return _CACHE[key]\n",                      # RL300 (escaping ref)
+        encoding="utf-8",
+    )
+    # Under a src/ segment so the module resolves into the repro.sim
+    # clock domain (RL500 keys on module names, not paths).
+    simsrc = root / "src" / "repro" / "sim"
+    simsrc.mkdir(parents=True)
+    (simsrc / "bad_clock.py").write_text(
+        "from repro.hostprof.clock import read_clock\n\n\n"  # RL500
+        "def stamp(env):\n"
+        "    return read_clock()\n",
         encoding="utf-8",
     )
 

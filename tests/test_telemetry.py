@@ -198,7 +198,22 @@ class TestRegistry:
         registry = Registry()
         created = registry.counter("events_total")
         assert registry.get("events_total") is created
-        assert registry.get("missing") is None
+        assert "events_total" in registry
+        assert "missing" not in registry
+
+    def test_get_miss_raises_naming_known_instruments(self):
+        registry = Registry()
+        registry.counter("events_total")
+        registry.gauge("active_flows")
+        with pytest.raises(TelemetryError) as err:
+            registry.get("missing")
+        message = str(err.value)
+        assert "missing" in message
+        assert "active_flows, events_total" in message
+
+    def test_get_miss_on_empty_registry_says_none(self):
+        with pytest.raises(TelemetryError, match="<none>"):
+            Registry().get("anything")
 
 
 # ---------------------------------------------------------------------------
@@ -783,6 +798,41 @@ class TestPrometheusExporter:
 
     def test_empty_registry_renders_empty_string(self):
         assert to_prometheus_text(Registry()) == ""
+
+    def test_labeled_histogram_buckets_cumulative_per_label_tuple(self):
+        registry = Registry()
+        hist = registry.histogram(
+            "rtt", "round trips", labelnames=("link",), buckets=(1.0, 10.0)
+        )
+        hist.observe(0.5, link="eth0")
+        hist.observe(5.0, link="eth0")
+        hist.observe(99.0, link="eth0")
+        hist.observe(0.1, link="ib0")
+        text = to_prometheus_text(registry)
+        assert '\nrtt_bucket{link="eth0",le="1"} 1\n' in text
+        assert '\nrtt_bucket{link="eth0",le="10"} 2\n' in text
+        assert '\nrtt_bucket{link="eth0",le="+Inf"} 3\n' in text
+        assert '\nrtt_bucket{link="ib0",le="+Inf"} 1\n' in text
+        assert '\nrtt_sum{link="eth0"} 104.5\n' in text
+        assert '\nrtt_count{link="ib0"} 1\n' in text
+
+    def test_label_values_with_spaces_survive_unquoted(self):
+        registry = Registry()
+        gauge = registry.gauge("g", labelnames=("spec",))
+        gauge.set(1.0, spec="jacobi on tx1 x4")
+        assert '\ng{spec="jacobi on tx1 x4"} 1\n' in to_prometheus_text(
+            registry
+        )
+
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        registry = Registry()
+        gauge = registry.gauge("g", labelnames=("spec",))
+        gauge.set(1.0, spec='say "hi"\\now\nplease')
+        text = to_prometheus_text(registry)
+        assert '\ng{spec="say \\"hi\\"\\\\now\\nplease"} 1\n' in text
+        # The rendered sample stays one physical line.
+        sample = [l for l in text.splitlines() if l.startswith("g{")]
+        assert len(sample) == 1
 
 
 # ---------------------------------------------------------------------------
