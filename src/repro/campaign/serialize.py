@@ -109,6 +109,7 @@ def run_to_payload(run) -> dict[str, Any]:
             ],
             "failures": {str(rank): text for rank, text in result.failures.items()},
             "comm_retries": result.comm_retries,
+            "loopback_bytes": result.loopback_bytes,
         },
         "rank_to_node": list(run.rank_to_node),
         "trace": None,
@@ -148,6 +149,8 @@ def result_from_payload(document: dict[str, Any]) -> JobResult:
         ],
         failures={int(rank): text for rank, text in document["failures"].items()},
         comm_retries=document["comm_retries"],
+        # Absent in payloads written before the loopback-accounting fix.
+        loopback_bytes=document.get("loopback_bytes", 0.0),
     )
 
 

@@ -106,6 +106,21 @@ def _write_telemetry(telemetry, args: argparse.Namespace) -> None:
               f"to {args.metrics_out}")
 
 
+def _add_fast_path_arguments(parser: argparse.ArgumentParser) -> None:
+    """Tri-state --fast-path/--no-fast-path (None defers to REPRO_FAST_PATH).
+
+    Results are byte-identical either way by the fast-path contract; the
+    flags exist so CI can run both modes and diff the outputs.
+    """
+    parser.add_argument("--fast-path", dest="fast_path", action="store_true",
+                        default=None,
+                        help="dispatch eligible runs onto the analytical "
+                             "fast-path engine (byte-identical results)")
+    parser.add_argument("--no-fast-path", dest="fast_path",
+                        action="store_false",
+                        help="force the full DES even when REPRO_FAST_PATH=1")
+
+
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write a Chrome/Perfetto trace-event JSON here")
@@ -129,6 +144,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         traced=args.timeline,
         use_cache=False,
         telemetry=telemetry,
+        fast_path=args.fast_path,
     )
     result = run.result
     print(f"{args.workload} on {run.cluster.spec.name}:")
@@ -210,6 +226,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         traced=True,
         use_cache=False,
         telemetry=telemetry,
+        fast_path=args.fast_path,
     )
     print(f"{args.workload} on {run.cluster.spec.name}: "
           f"{run.result.elapsed_seconds:.4f} s simulated")
@@ -360,12 +377,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     run = profile_workload(
         _require_workload(args.workload), nodes=args.nodes,
-        network=args.network,
+        network=args.network, fast_path=bool(args.fast_path),
     )
     write_hotspots([run])
-    wall = sum(run.profiler.wall.values())
+    wall = run.wall_seconds
     rate = run.sim_seconds / wall if wall > 0 else 0.0
-    print(f"{run.name} (nodes={run.nodes}, {run.network}): "
+    mode = "fast path" if run.fast_path else "full DES"
+    print(f"{run.name} (nodes={run.nodes}, {run.network}, {mode}): "
           f"sim {run.sim_seconds:.6f} s in {wall:.4f} wall s "
           f"({rate:.1f} sim-s/wall-s)")
     print()
@@ -374,6 +392,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    if args.fast_path is not None:
+        # The campaign runs in worker processes; the environment variable
+        # is the channel they inherit the dispatch mode through (results
+        # are byte-identical either way, so cache entries stay shared).
+        os.environ["REPRO_FAST_PATH"] = "1" if args.fast_path else "0"
     from repro.campaign import (
         ChaosSchedule,
         ResultStore,
@@ -609,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collect a trace and print a Paraver-style timeline")
     run_p.add_argument("--width", type=int, default=100,
                        help="timeline width in characters")
+    _add_fast_path_arguments(run_p)
     _add_telemetry_arguments(run_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -681,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_p.add_argument("--hotspots-out", default=None, metavar="FILE",
                            help="also write the per-workload hotspot "
                                 "Markdown report here")
+    _add_fast_path_arguments(profile_p)
 
     faults_p = sub.add_parser(
         "faults",
@@ -708,6 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_p.add_argument("--network", choices=("1G", "10G"), default="10G")
     telemetry_p.add_argument("--system", choices=("tx1", "gtx980", "thunderx"),
                              default="tx1")
+    _add_fast_path_arguments(telemetry_p)
     _add_telemetry_arguments(telemetry_p)
 
     trace_p = sub.add_parser(
@@ -772,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--host-trace", default=None, metavar="FILE",
                          help="record host-clock worker timelines and write "
                               "them as a Chrome trace (one lane per worker)")
+    _add_fast_path_arguments(sweep_p)
 
     from repro.lint.cli import add_lint_arguments
 

@@ -144,6 +144,9 @@ class JobResult:
     failures: dict[int, str] = field(default_factory=dict)
     #: Total MPI send retries across all ranks (lost-message recovery).
     comm_retries: int = 0
+    #: Intra-node (loopback) payload bytes — DRAM copies that never touch
+    #: the wire, so they are NOT part of network_bytes.
+    loopback_bytes: float = 0.0
 
     @property
     def failed_ranks(self) -> tuple[int, ...]:
@@ -201,6 +204,7 @@ class Job:
         retry: RetryPolicy | None = None,
         on_fault: str = "raise",
         telemetry: Any = None,
+        fast_path: bool = False,
     ) -> None:
         if ranks_per_node < 1:
             raise ConfigurationError("ranks_per_node must be >= 1")
@@ -248,6 +252,17 @@ class Job:
         )
         if self._injector is not None:
             self._injector.bind_job(self)
+        # The fast path is opt-in AND gated on static eligibility: when
+        # the analytical shortcut would not be provably byte-identical
+        # (faults, retries, a bindable switch), the run silently stays on
+        # the full DES.  Imported lazily: the engine depends on cluster
+        # topology types, not the other way around.
+        self.fast_path = False
+        if fast_path:
+            from repro.fastpath.engine import install
+
+            decision = install(cluster, injector=self._injector, retry=retry)
+            self.fast_path = decision.eligible
         self._cuda: dict[int, CudaContext] = {}
         for node in cluster.nodes:
             if node.has_gpu:
@@ -392,6 +407,7 @@ class Job:
             gpu_profilers=[c.profiler for c in self._cuda.values()],
             failures=failures,
             comm_retries=sum(s.retries for s in self.world.stats),
+            loopback_bytes=self.cluster.fabric.loopback_bytes,
         )
 
     def _drive_tolerant(self, procs: list, failures: dict[int, str]) -> None:

@@ -1,0 +1,42 @@
+"""Fast-path simulation engine: analytical shortcuts around the DES.
+
+When a run provably has no contended link — no fault injector degrading
+rates, no retry policy replaying transfers, and a switch whose bisection
+bandwidth can never bind (``endpoints * fastest_nic <= bisection``) — the
+per-flow rate the full DES would compute is a constant known in advance,
+and every transfer's completion time is a closed-form function of the
+per-NIC FIFO timelines.  The engine then:
+
+* replaces the fabric's request/all_of/timeout/release event cascade with
+  one absolutely-timed event per transfer (:class:`FlowTimeline`,
+  vectorized over endpoints with numpy);
+* lets resources and stores grant immediately-available slots/items
+  inline (``Environment.fast_mode``), skipping the queue round-trip.
+
+The contract is *byte-identity*: a fast-path run must produce exactly the
+same :class:`~repro.cluster.job.JobResult`, telemetry export, and campaign
+rows as the full DES — only the host does less work.  Eligibility is
+decided statically (:func:`decide_cluster` / :func:`decide_spec`) and the
+equivalence suite (``tests/test_fastpath.py``) cross-validates every
+workload x system x network preset.  See DESIGN.md, "Fast path".
+"""
+
+from repro.fastpath.eligibility import FastPathDecision, decide_cluster, decide_spec
+from repro.fastpath.engine import install
+from repro.fastpath.flows import (
+    Flow,
+    FlowTimeline,
+    batch_wire_seconds,
+    endpoints_disjoint,
+)
+
+__all__ = [
+    "FastPathDecision",
+    "Flow",
+    "FlowTimeline",
+    "batch_wire_seconds",
+    "decide_cluster",
+    "decide_spec",
+    "endpoints_disjoint",
+    "install",
+]

@@ -1,0 +1,103 @@
+"""Static fast-path eligibility: when is the analytical timeline sound?
+
+The analytical fabric timeline assumes every flow runs at its endpoint
+rate ``min(src_nic, dst_nic)`` from grant to completion.  The full DES
+computes ``min(endpoint, bisection / active_flows)`` — so the shortcut is
+exact iff the fair share can never undercut the endpoint rate, and no
+attached machinery can perturb rates or replay transfers mid-run:
+
+* **no fault injector** — degradation windows change per-link rates and
+  crashed nodes reorder queues;
+* **no retry policy** — lost-message replays need the loss draw, which
+  only the injector produces anyway, but an attached policy signals the
+  caller expects them;
+* **switch headroom** — at most one flow can hold each NIC's tx slot, so
+  concurrent flows never exceed the attached endpoint count and
+  ``bisection / endpoints >= fastest_nic`` guarantees the fair share
+  never binds (every catalog preset satisfies this: 16 TX1 nodes plus
+  the fileserver load a 480 Gbit/s 10 GbE switch at most ~11%).
+
+The decision is a pure function of the topology, so the campaign runner
+records it per spec without running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FastPathDecision:
+    """Why a run may (or may not) take the analytical fast path."""
+
+    eligible: bool
+    reasons: tuple[str, ...]
+    endpoints: int
+    max_nic_rate: float
+    switch_headroom: float
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        if self.eligible:
+            return (
+                f"eligible ({self.endpoints} endpoints, "
+                f"{self.switch_headroom:.1f}x switch headroom)"
+            )
+        return "ineligible: " + "; ".join(self.reasons)
+
+
+def decide_cluster(
+    cluster: Any, injector: Any = None, retry: Any = None
+) -> FastPathDecision:
+    """Decide eligibility for a built cluster (plus run-level attachments).
+
+    *injector*/*retry* are the job-level attachments that would make the
+    shortcut unsound; pass whatever the run will actually use.  The
+    fabric's own injector (attached via ``set_fault_injector``) is
+    consulted too.
+    """
+    fabric = cluster.fabric
+    reasons: list[str] = []
+    if injector is not None or fabric._injector is not None:
+        reasons.append("a fault injector can degrade link rates mid-run")
+    if retry is not None:
+        reasons.append("a retry policy can replay transfers")
+    nodes = list(fabric.nodes.values())
+    endpoints = len(nodes)
+    if endpoints == 0:
+        reasons.append("no endpoints attached to the fabric")
+        max_rate = 0.0
+        headroom = 0.0
+    else:
+        max_rate = max(node.nic.achievable_rate for node in nodes)
+        capacity = endpoints * max_rate
+        headroom = (
+            fabric.switch.bisection_bandwidth / capacity
+            if capacity > 0 else float("inf")
+        )
+        if headroom < 1.0:
+            reasons.append(
+                f"switch bisection can bind: {endpoints} endpoints x "
+                f"{max_rate:.3g} B/s exceeds "
+                f"{fabric.switch.bisection_bandwidth:.3g} B/s"
+            )
+    return FastPathDecision(
+        eligible=not reasons,
+        reasons=tuple(reasons),
+        endpoints=endpoints,
+        max_nic_rate=max_rate,
+        switch_headroom=headroom,
+    )
+
+
+def decide_spec(spec: Any) -> FastPathDecision:
+    """Eligibility for a :class:`~repro.campaign.spec.RunSpec`.
+
+    Builds the (cheap, deterministic) cluster the spec describes and
+    decides from its topology; campaign runs use this to record
+    ``fastpath`` eligibility per row without simulating anything.
+    """
+    from repro.campaign.spec import build_cluster
+
+    return decide_cluster(build_cluster(spec))

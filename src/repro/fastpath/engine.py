@@ -1,0 +1,34 @@
+"""Enable the fast path on a cluster when eligibility holds.
+
+:func:`install` is the single switch-on point: it decides eligibility
+(:func:`~repro.fastpath.eligibility.decide_cluster`), and only when the
+analytical timeline is provably exact does it flip the environment into
+``fast_mode`` (inline resource/store grants) and hand the fabric a
+:class:`~repro.fastpath.flows.FlowTimeline` (closed-form transfers).
+An ineligible run is left completely untouched — callers can pass
+``fast_path=True`` unconditionally and still get ground-truth DES
+behaviour whenever the shortcut would be unsound.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fastpath.eligibility import FastPathDecision, decide_cluster
+from repro.fastpath.flows import FlowTimeline
+
+
+def install(
+    cluster: Any, injector: Any = None, retry: Any = None
+) -> FastPathDecision:
+    """Enable the fast path on *cluster* if (and only if) it is eligible.
+
+    Returns the decision either way; ``decision.eligible`` tells the
+    caller whether the engine is actually active.
+    """
+    decision = decide_cluster(cluster, injector=injector, retry=retry)
+    if decision.eligible:
+        timeline = FlowTimeline(cluster.env, max(cluster.fabric.nodes) + 1)
+        cluster.env.fast_mode = True
+        cluster.fabric.enable_fast_path(timeline)
+    return decision

@@ -1,0 +1,232 @@
+"""Analytical flow timeline replaying the DES fabric's exact event order.
+
+The full DES moves every transfer through a resource cascade — tx grant,
+rx grant, ``all_of``, wire timeout, release — and recomputes the flow's
+fair share in Python each round.  Under fast-path eligibility the fair
+share provably never binds, so a transfer's schedule is closed-form: it is
+granted at ``max(now, tx_free[src], rx_free[dst])`` and both NICs come
+free at ``grant + wire``.  :meth:`FlowTimeline.reserve` computes those two
+instants with plain binary64 arithmetic (the same operations, on the same
+floats, the DES would perform) and the fabric schedules one absolutely
+timed completion with ``Environment.timeout_at``.
+
+Byte-identity is a stronger contract than matching instants: accumulation
+order at *tied* instants must match too, because same-timestamp events
+pop in push (eid) order and downstream float sums are order-sensitive.
+The timeline therefore reproduces the DES's resumption positions exactly:
+
+* **Uncontended, quiescent heap** — the DES would pop grant/grant/all_of
+  back to back with nothing in between, so the transfer continues inline
+  (no events at all).
+* **Uncontended, same-instant events pending** — the transfer parks on a
+  two-hop relay chain (:meth:`_chain`): the relay is pushed where the DES
+  pushes the first grant, and the wake pops where the ``all_of`` would,
+  after every event the concurrent processes push at this instant.
+* **Contended** — the transfer parks on an untriggered wake and registers
+  with the flow(s) still holding its NICs.  Each blocking flow's
+  :meth:`complete` (called at the DES's release point, before the holder
+  does any further work) decrements the waiter's pending count; the last
+  one starts the relay chain, so the waiter resumes exactly two pops
+  after the release — the DES's grant-then-``all_of`` distance — and
+  after everything the releasing process pushed meanwhile.
+
+The interval log doubles as the sampler's truth: ``active_at(now)`` counts
+flows in flight with one vectorized comparison, so a sampled telemetry run
+exports the same ``fabric_active_flows`` series the DES would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim import Environment, Event
+
+_INITIAL_LOG = 64
+
+
+class _Waiter:
+    """A parked transfer: its wake event plus how many holders must finish."""
+
+    __slots__ = ("wake", "pending")
+
+    def __init__(self, wake: Event, pending: int) -> None:
+        self.wake = wake
+        self.pending = pending
+
+
+class Flow:
+    """One reserved transfer on the timeline (the hot per-transfer object)."""
+
+    __slots__ = ("grant", "end", "wake", "committed", "tx_waiter", "rx_waiter")
+
+    def __init__(self, grant: float, end: float, wake: Event | None) -> None:
+        self.grant = grant
+        self.end = end
+        #: Event the transfer process must yield before proceeding past its
+        #: grant instant; ``None`` means continue inline (quiescent case).
+        self.wake = wake
+        #: True once the flow's completion ran (its NICs are really free).
+        self.committed = False
+        #: The next flow queued on this flow's tx/rx NIC, if any.
+        self.tx_waiter: _Waiter | None = None
+        self.rx_waiter: _Waiter | None = None
+
+
+class FlowTimeline:
+    """Per-endpoint NIC FIFO timelines plus the flow-interval log."""
+
+    def __init__(self, env: Environment, n_endpoints: int) -> None:
+        if n_endpoints < 1:
+            raise ConfigurationError(
+                f"need at least one endpoint, got {n_endpoints}"
+            )
+        self.env = env
+        self.n_endpoints = n_endpoints
+        self._tx_free = np.zeros(n_endpoints)
+        self._rx_free = np.zeros(n_endpoints)
+        self._tx_owner: list[Flow | None] = [None] * n_endpoints
+        self._rx_owner: list[Flow | None] = [None] * n_endpoints
+        self._starts = np.empty(_INITIAL_LOG)
+        self._ends = np.empty(_INITIAL_LOG)
+        self._count = 0
+
+    @property
+    def transfers(self) -> int:
+        """Transfers reserved so far (the deterministic hit count)."""
+        return self._count
+
+    def reserve(self, src: int, dst: int, now: float, wire: float) -> Flow:
+        """Claim both NICs for one transfer and return its :class:`Flow`.
+
+        ``flow.grant`` is the instant the DES would resume the transfer
+        process (its ``all_of`` grant) and ``flow.end = grant + wire`` the
+        instant its wire timeout would fire; both NIC timelines advance to
+        ``end``.  ``flow.wake`` encodes how the caller must wait (see the
+        module docstring's three cases).
+        """
+        env = self.env
+        tx = float(self._tx_free[src])
+        rx = float(self._rx_free[dst])
+        grant = now
+        if tx > grant:
+            grant = tx
+        if rx > grant:
+            grant = rx
+        # An endpoint blocks while its holder's completion has not run:
+        # either the holder finishes in the future, or it finishes at this
+        # very instant but its completion event has not popped yet (the
+        # DES would still count the slot as held).
+        tx_owner = self._tx_owner[src]
+        rx_owner = self._rx_owner[dst]
+        tx_blocks = tx_owner is not None and not tx_owner.committed and tx >= now
+        rx_blocks = rx_owner is not None and not rx_owner.committed and rx >= now
+
+        wake: Event | None = None
+        if tx_blocks or rx_blocks:
+            wake = Event(env)
+            waiter = _Waiter(wake, 0)
+            if tx_blocks:
+                waiter.pending += 1
+                tx_owner.tx_waiter = waiter
+            if rx_blocks and rx_owner is not tx_owner:
+                # One flow can hold both NICs (a back-to-back transfer on
+                # the same src->dst pair); its single completion frees both.
+                waiter.pending += 1
+                rx_owner.rx_waiter = waiter
+        elif not env.quiescent:
+            # Granted at this instant, but other events are pending at it:
+            # park on an immediate relay so the resume pops exactly where
+            # the DES's all_of would.
+            wake = Event(env)
+            self._chain(wake)
+
+        end = grant + wire
+        flow = Flow(grant, end, wake)
+        self._tx_free[src] = end
+        self._rx_free[dst] = end
+        self._tx_owner[src] = flow
+        self._rx_owner[dst] = flow
+        if self._count == self._starts.shape[0]:
+            self._starts = np.concatenate([self._starts, np.empty_like(self._starts)])
+            self._ends = np.concatenate([self._ends, np.empty_like(self._ends)])
+        self._starts[self._count] = grant
+        self._ends[self._count] = end
+        self._count += 1
+        return flow
+
+    def complete(self, flow: Flow) -> None:
+        """Release *flow*'s NICs (call right after its completion pops).
+
+        Mirrors the DES ``finally`` block: tx released before rx, each
+        release waking at most the FIFO-next queued transfer.  A waiter
+        blocked on several holders resumes only when the last one
+        completes — the ``all_of`` semantics.
+        """
+        flow.committed = True
+        for waiter in (flow.tx_waiter, flow.rx_waiter):
+            if waiter is None:
+                continue
+            waiter.pending -= 1
+            if waiter.pending == 0:
+                self._chain(waiter.wake)
+        flow.tx_waiter = None
+        flow.rx_waiter = None
+
+    def _chain(self, wake: Event) -> None:
+        """Fire *wake* two event pops from now (the grant → all_of distance).
+
+        The relay is pushed at the caller's current execution point; its
+        pop — after every event already queued at this instant — triggers
+        the wake, whose own pop resumes the parked transfer after anything
+        the intervening pops pushed, exactly as the DES's grant/``all_of``
+        pair orders it.
+        """
+        relay = Event(self.env)
+        relay.callbacks.append(lambda _event: wake.succeed())
+        relay.succeed()
+
+    def active_at(self, now: float) -> int:
+        """Flows in flight at *now*: granted (start <= now) but not ended.
+
+        Matches the DES's ``_active_flows`` gauge, which increments at the
+        grant instant and decrements at the completion instant.
+        """
+        starts = self._starts[: self._count]
+        ends = self._ends[: self._count]
+        return int(np.count_nonzero((starts <= now) & (now < ends)))
+
+    def busy_until(self, endpoint: int) -> tuple[float, float]:
+        """(tx_free_at, rx_free_at) for *endpoint* — introspection/tests."""
+        return float(self._tx_free[endpoint]), float(self._rx_free[endpoint])
+
+
+def endpoints_disjoint(srcs: np.ndarray, dsts: np.ndarray, n_endpoints: int) -> bool:
+    """True when a transfer set shares no NIC at all.
+
+    A disjoint set (each endpoint appears at most once as source and at
+    most once as destination) is the fully contention-free case: every
+    transfer is granted at its arrival instant.
+    """
+    srcs = np.asarray(srcs, dtype=np.intp)
+    dsts = np.asarray(dsts, dtype=np.intp)
+    tx_load = np.bincount(srcs, minlength=n_endpoints)
+    rx_load = np.bincount(dsts, minlength=n_endpoints)
+    return bool(tx_load.max(initial=0) <= 1 and rx_load.max(initial=0) <= 1)
+
+
+def batch_wire_seconds(
+    nbytes: np.ndarray, rates: np.ndarray, latency: float
+) -> np.ndarray:
+    """Closed-form wire time for a batch of flows at constant *rates*.
+
+    One vectorized expression replaces the DES's per-flow Python
+    recomputation; zero-byte flows pay latency only, exactly as the DES's
+    ``latency + (nbytes / rate if nbytes else 0.0)`` does.
+    """
+    nbytes = np.asarray(nbytes, dtype=np.float64)
+    rates = np.asarray(rates, dtype=np.float64)
+    seconds = np.divide(
+        nbytes, rates, out=np.zeros_like(nbytes), where=nbytes > 0
+    )
+    return latency + seconds

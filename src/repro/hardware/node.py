@@ -78,6 +78,9 @@ class Node:
 
         self.network_bytes_sent = 0.0
         self.network_bytes_received = 0.0
+        # Intra-node (loopback) traffic never touches the NIC; it is
+        # recorded apart from the wire counters above.
+        self.loopback_bytes = 0.0
         # Health state: set by the fault-injection layer; a failed node's
         # NIC refuses transfers and its resident ranks are dead.
         self.failed = False
@@ -112,6 +115,10 @@ class Node:
     def record_receive(self, nbytes: float) -> None:
         """Account bytes arriving at this node from the wire."""
         self.network_bytes_received += nbytes
+
+    def record_loopback(self, nbytes: float) -> None:
+        """Account an intra-node transfer (DRAM copy, no NIC involvement)."""
+        self.loopback_bytes += nbytes
 
     def __repr__(self) -> str:
         return f"<Node {self.spec.name}#{self.node_id} nic={self.nic.name}>"

@@ -31,15 +31,15 @@ def _collective_span(name: str):
     the wrapper costs one no-op context manager per call.
     """
 
+    span_name = f"mpi.{name}"  # built once per collective, not per call
+
     def decorate(method):
         @functools.wraps(method)
         def wrapper(self, *args, **kwargs):
             hp = self.env.host_profiler
             if hp is not None:
                 hp.mpi_hop()
-            with self.world.telemetry.async_span(
-                f"rank{self.rank}", f"mpi.{name}", "mpi"
-            ):
+            with self.world.telemetry.async_span(self._track, span_name, "mpi"):
                 result = yield from method(self, *args, **kwargs)
             return result
 
@@ -242,6 +242,17 @@ class Communicator:
         self.rank = rank
         self.size = world.size
         self.env = world.env
+        # Span labels repeat for every call this rank ever makes; caching
+        # them here keeps per-message f-string builds off the hot path.
+        self._track = f"rank{rank}"
+        self._send_span_names: dict[int, str] = {}
+
+    def _send_span_name(self, dest: int) -> str:
+        name = self._send_span_names.get(dest)
+        if name is None:
+            name = f"mpi.send->r{dest}"
+            self._send_span_names[dest] = name
+        return name
 
     # mpi4py-style accessors
     def Get_rank(self) -> int:
@@ -287,7 +298,7 @@ class Communicator:
         stats = world.stats[self.rank]
         attempt = 0
         with world.telemetry.async_span(
-            f"rank{self.rank}", f"mpi.send->r{dest}", "mpi",
+            self._track, self._send_span_name(dest), "mpi",
             dest=dest, tag=tag, nbytes=wire_bytes,
         ) as span:
             while True:
@@ -358,7 +369,7 @@ class Communicator:
 
         mailbox = world._mailboxes[self.rank]
         with world.telemetry.async_span(
-            f"rank{self.rank}", "mpi.recv", "mpi", source=source, tag=tag,
+            self._track, "mpi.recv", "mpi", source=source, tag=tag,
         ) as span:
             if timeout is None:
                 message = yield mailbox.get(filter=matches)

@@ -70,15 +70,46 @@ class Fabric:
         self.total_transfers = 0
         self.dropped_bytes = 0.0
         self.dropped_transfers = 0
+        # Loopback (intra-node) traffic is accounted separately: it never
+        # crosses the wire, so total_bytes stays the wire-only figure that
+        # JobResult.network_bytes mirrors.
+        self.loopback_bytes = 0.0
+        self.loopback_transfers = 0
         self._active_flows = 0
         self._injector: LinkFaultModel | None = None
+        self._fastpath = None
+        # Span names repeat for every (src, dst) pair a run ever uses;
+        # caching them keeps the hot path free of per-transfer f-strings.
+        self._span_names: dict[tuple[int, int], str] = {}
         self._telemetry = NULL
         self._wire_instruments()
 
     @property
     def active_flows(self) -> int:
         """Flows currently holding NIC slots (the sampler reads this)."""
+        if self._fastpath is not None:
+            return self._fastpath.active_at(self.env.now)
         return self._active_flows
+
+    def enable_fast_path(self, timeline) -> None:
+        """Route wire transfers through an analytical FlowTimeline.
+
+        Only :func:`repro.fastpath.engine.install` calls this, and only
+        after proving the run eligible (constant flow rates, no faults);
+        see the fastpath package for the exactness argument.
+        """
+        self._fastpath = timeline
+
+    def _span_name(self, src_id: int, dst_id: int) -> str:
+        key = (src_id, dst_id)
+        name = self._span_names.get(key)
+        if name is None:
+            name = (
+                f"loopback n{src_id}" if src_id == dst_id
+                else f"xfer n{src_id}->n{dst_id}"
+            )
+            self._span_names[key] = name
+        return name
 
     def attach(self, node: Node) -> None:
         """Register *node* on the fabric."""
@@ -115,6 +146,15 @@ class Fabric:
         self._size_histogram = tm.histogram(
             "fabric_transfer_bytes", "wire size of completed transfers",
             unit="bytes", buckets=SIZE_BUCKETS,
+        )
+        self._loopback_bytes_counter = tm.counter(
+            "fabric_loopback_bytes_total",
+            "payload bytes short-circuited through node-local DRAM",
+            unit="bytes",
+        )
+        self._loopback_transfers_counter = tm.counter(
+            "fabric_loopback_transfers_total",
+            "completed intra-node (loopback) transfers",
         )
 
     def _endpoint(self, node_id: int) -> Node:
@@ -167,16 +207,63 @@ class Fabric:
         start = env.now
 
         if src_id == dst_id:
-            # Loopback: a memory-to-memory copy, no NIC involvement.
+            # Loopback: a memory-to-memory copy, no NIC involvement.  It is
+            # accounted under its own instruments — total_bytes stays the
+            # wire-only figure JobResult.network_bytes mirrors.
             wire = 2.0 * nbytes / src.dram.spec.cpu_bandwidth
             with self._telemetry.async_span(
-                "fabric", f"loopback n{src_id}", "fabric", nbytes=nbytes
+                "fabric", self._span_name(src_id, dst_id), "fabric", nbytes=nbytes
             ):
                 yield env.timeout(wire)
+            src.record_loopback(nbytes)
+            self.loopback_bytes += nbytes
+            self.loopback_transfers += 1
+            self._loopback_bytes_counter.inc(nbytes)
+            self._loopback_transfers_counter.inc()
             return TransferRecord(src_id, dst_id, nbytes, start, env.now, 0.0, wire)
 
+        if self._fastpath is not None:
+            # Analytical timeline: eligibility proved the flow rate is the
+            # endpoint rate (fair share never binds, no injector), so the
+            # grant and completion instants are closed-form.  The wake
+            # protocol (see repro.fastpath.flows) parks this process only
+            # when needed to keep same-instant event order identical to
+            # the DES cascade; every accounting step below is the same
+            # code, in the same order, with the same floats.
+            with self._telemetry.async_span(
+                "fabric", self._span_name(src_id, dst_id), "fabric", nbytes=nbytes
+            ) as span:
+                rate = min(src.nic.achievable_rate, dst.nic.achievable_rate)
+                latency = src.nic.latency_one_way + self.switch.latency
+                wire = latency + (nbytes / rate if nbytes else 0.0)
+                flow = self._fastpath.reserve(src_id, dst_id, start, wire)
+                queued = flow.grant - start
+                span.set(queue_seconds=queued, rate=rate)
+                hp = env.host_profiler
+                if hp is not None:
+                    hp.fastpath_transfer()
+                if flow.wake is not None:
+                    yield flow.wake
+                yield env.timeout_at(flow.end)
+                # Release first (tx then rx, waking queued flows), exactly
+                # like the DES finally block, before any further work.
+                self._fastpath.complete(flow)
+                self._check_alive(src)
+                self._check_alive(dst)
+                src.record_send(nbytes)
+                dst.record_receive(nbytes)
+                self.total_bytes += nbytes
+                self.total_transfers += 1
+                self._bytes_counter.inc(nbytes)
+                self._transfers_counter.inc()
+                self._seconds_histogram.observe(env.now - start)
+                self._size_histogram.observe(nbytes)
+            return TransferRecord(
+                src_id, dst_id, nbytes, start, env.now, queued, wire
+            )
+
         with self._telemetry.async_span(
-            "fabric", f"xfer n{src_id}->n{dst_id}", "fabric", nbytes=nbytes
+            "fabric", self._span_name(src_id, dst_id), "fabric", nbytes=nbytes
         ) as span:
             tx_req = src.nic_tx.request()
             rx_req = dst.nic_rx.request()

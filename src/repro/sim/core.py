@@ -37,11 +37,19 @@ class Event:
     (callbacks ran).  Processes wait on events by ``yield``-ing them.
     """
 
+    # Events are the hottest allocation in the kernel; slots keep them
+    # dict-free (measured by hostprof's heap high-water counters).
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_triggered")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[[Event], None]] | None = []
         self._value: Any = _PENDING
         self._ok: bool = True
+        # Explicit, not inferred from ``_value is not _PENDING``: a value
+        # that aliased the sentinel's "pending" meaning (None, historically)
+        # must not flip the state machine.
+        self._triggered: bool = False
         # Set True when a failed event's exception was delivered somewhere.
         self._defused: bool = False
 
@@ -50,7 +58,7 @@ class Event:
     @property
     def triggered(self) -> bool:
         """True once the event has a value and is scheduled."""
-        return self._value is not _PENDING
+        return self._triggered
 
     @property
     def processed(self) -> bool:
@@ -67,7 +75,7 @@ class Event:
     @property
     def value(self) -> Any:
         """The event's value (or exception instance if it failed)."""
-        if self._value is _PENDING:
+        if not self._triggered:
             raise SimulationError("event value not yet available")
         return self._value
 
@@ -75,10 +83,11 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with *value*."""
-        if self.triggered:
+        if self._triggered:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
+        self._triggered = True
         self.env.schedule(self)
         return self
 
@@ -86,15 +95,22 @@ class Event:
         """Trigger the event with an exception."""
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._triggered:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
+        self._triggered = True
         self.env.schedule(self)
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another event (callback helper)."""
+        if not event._triggered:
+            # Copying state from an untriggered source would silently
+            # succeed *self* with the pending sentinel as its value.
+            raise SimulationError(
+                f"cannot trigger {self!r} from untriggered source {event!r}"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -109,13 +125,19 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         super().__init__(env)
         self.delay = delay
+        # Triggered at birth: the value is decided and the event queued.
+        # ``_triggered`` is set explicitly — a ``value`` of ``None`` must
+        # not leave the state machine guessing from the sentinel.
         self._ok = True
         self._value = value
+        self._triggered = True
         env.schedule(self, delay=delay)
 
     def __repr__(self) -> str:
@@ -138,6 +160,8 @@ class Process(Event):
     (value = the ``return`` value) or raises (failure).
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"process() needs a generator, got {generator!r}")
@@ -148,6 +172,7 @@ class Process(Event):
         init = Event(env)
         init._ok = True
         init._value = None
+        init._triggered = True
         init.callbacks = [self._resume]
         env.schedule(init, priority=URGENT)
 
@@ -182,6 +207,7 @@ class Process(Event):
         hit = Event(self.env)
         hit._ok = False
         hit._value = exception
+        hit._triggered = True
         hit._defused = True
         hit.callbacks = [self._resume]
         self.env.schedule(hit, priority=URGENT)
@@ -214,12 +240,14 @@ class Process(Event):
                 env._active_process = None
                 self._ok = True
                 self._value = stop.value
+                self._triggered = True
                 env.schedule(self, priority=URGENT)
                 return
             except BaseException as exc:
                 env._active_process = None
                 self._ok = False
                 self._value = exc
+                self._triggered = True
                 env.schedule(self, priority=URGENT)
                 return
 
@@ -244,7 +272,15 @@ class Process(Event):
 
 
 class _Condition(Event):
-    """Base for AllOf / AnyOf."""
+    """Base for AllOf / AnyOf.
+
+    Triggered-state is tracked explicitly by :class:`Event` — ``_check``
+    must consult ``self.triggered`` (not the value sentinel) so component
+    values that alias the pending sentinel's old ``None`` behaviour cannot
+    re-trigger a decided condition.
+    """
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -263,7 +299,7 @@ class _Condition(Event):
                 ev.callbacks.append(self._check)
 
     def _collect(self) -> dict[Event, Any]:
-        return {ev: ev._value for ev in self._events if ev.triggered and ev.callbacks is None}
+        return {ev: ev._value for ev in self._events if ev._triggered and ev.callbacks is None}
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError
@@ -271,6 +307,8 @@ class _Condition(Event):
 
 class AllOf(_Condition):
     """Triggers when every component event has triggered (fails fast on failure)."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -285,6 +323,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Triggers when any component event triggers."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -308,6 +348,11 @@ class Environment:
         # cost and activity counts without touching simulated state, so a run
         # is byte-identical with or without it (see repro.hostprof).
         self.host_profiler = None
+        # Fast-path mode: resources and stores may complete immediately
+        # available grants inline (no queue round-trip) when this is set.
+        # Only the fastpath engine flips it, and only for runs it proved
+        # eligible (see repro.fastpath); results stay byte-identical.
+        self.fast_mode = False
 
     def set_host_profiler(self, profiler) -> None:
         """Attach a host-side profiler observing kernel activity.
@@ -350,6 +395,19 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def quiescent(self) -> bool:
+        """True when no queued event remains at the current instant.
+
+        An event triggered now would be the very next thing the kernel
+        pops — so completing it inline (skipping the queue round-trip)
+        cannot reorder execution.  The fast path consults this before
+        every inline grant; when same-instant events are pending, it falls
+        back to the queue so accumulation order at tied instants stays
+        byte-identical to the full DES.
+        """
+        return not self._queue or self._queue[0][0] > self._now
+
     # -- factories --------------------------------------------------------------
 
     def event(self) -> Event:
@@ -367,6 +425,41 @@ class Environment:
         if self.host_profiler is not None:
             self.host_profiler.process_spawned()
         return Process(self, generator)
+
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """An event firing at *absolute* simulated time *when*.
+
+        Unlike ``timeout(when - now)`` this schedules the exact float
+        *when*, with no ``now + (when - now)`` round-trip — the fastpath
+        engine relies on this to land analytical completion times on the
+        same binary64 instants the full DES would produce.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"timeout_at({when}) is in the past (now={self._now})"
+            )
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        ev._triggered = True
+        self._eid += 1
+        heapq.heappush(self._queue, (when, NORMAL, self._eid, ev))
+        return ev
+
+    def processed_event(self, value: Any = None) -> Event:
+        """An already-processed successful event carrying *value*.
+
+        Yielding it costs no queue traffic: :meth:`Process._resume` sees
+        ``callbacks is None`` and feeds the value straight back into the
+        generator.  This is the inline-grant primitive the fast path uses
+        when a resource slot or store item is immediately available.
+        """
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        ev._triggered = True
+        ev.callbacks = None
+        return ev
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that triggers when all *events* have triggered."""

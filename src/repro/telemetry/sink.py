@@ -11,6 +11,7 @@ fault layer makes for empty schedules).
 
 from __future__ import annotations
 
+import sys
 from typing import TYPE_CHECKING
 
 from repro.errors import TelemetryError
@@ -82,18 +83,22 @@ class Telemetry:
 
     def span(self, track: str, name: str, category: str = "", **args: object) -> SpanHandle:
         """Open a *scoped* span (properly nested on its track)."""
+        # sys.intern: the same track/name strings recur for every call site
+        # over a run's lifetime; interning collapses them to one object each,
+        # shrinking the span list's footprint and making the exporters'
+        # dict lookups pointer-compare fast.
         return SpanHandle(
             self,
-            SpanRecord(track, name, category, self.now, self.now,
-                       kind="scoped", args=dict(args)),
+            SpanRecord(sys.intern(track), sys.intern(name), category,
+                       self.now, self.now, kind="scoped", args=dict(args)),
         )
 
     def async_span(self, track: str, name: str, category: str = "", **args: object) -> SpanHandle:
         """Open an *async* span (may overlap others on its track)."""
         return SpanHandle(
             self,
-            SpanRecord(track, name, category, self.now, self.now,
-                       kind="async", args=dict(args)),
+            SpanRecord(sys.intern(track), sys.intern(name), category,
+                       self.now, self.now, kind="async", args=dict(args)),
         )
 
     def record_span(
@@ -109,14 +114,14 @@ class Telemetry:
         """Record an already-timed span (the Tracer bridge's entry point)."""
         if end < start:
             raise TelemetryError(f"span ends before it starts: {start} > {end}")
-        self._finish(SpanRecord(track, name, category, start, end,
-                                kind=kind, args=dict(args)))
+        self._finish(SpanRecord(sys.intern(track), sys.intern(name), category,
+                                start, end, kind=kind, args=dict(args)))
 
     def instant(self, track: str, name: str, category: str = "", **args: object) -> None:
         """Record an instant marker at the current simulated time."""
         now = self.now
-        self._finish(SpanRecord(track, name, category, now, now,
-                                kind="instant", args=dict(args)))
+        self._finish(SpanRecord(sys.intern(track), sys.intern(name), category,
+                                now, now, kind="instant", args=dict(args)))
 
     def _finish(self, record: SpanRecord) -> None:
         self.spans.append(record)
@@ -149,7 +154,9 @@ class Telemetry:
 
     def sample(self, track: str, name: str, value: float) -> None:
         """Append one time-series point at the current simulated time."""
-        self.samples.append(SamplePoint(track, name, self.now, float(value)))
+        self.samples.append(
+            SamplePoint(sys.intern(track), sys.intern(name), self.now, float(value))
+        )
         hp = getattr(self._env, "host_profiler", None)
         if hp is not None:
             hp.sample_emitted()

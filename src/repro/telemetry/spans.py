@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanRecord:
     """One finished (or instant) interval on the telemetry timeline."""
 

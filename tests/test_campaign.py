@@ -360,8 +360,8 @@ def _inject_opaque_rank_value(monkeypatch):
 
     real = bench_runner._simulate
 
-    def patched(spec, workload, telemetry):
-        run = real(spec, workload, telemetry)
+    def patched(spec, workload, telemetry, fast_path=None):
+        run = real(spec, workload, telemetry, fast_path)
         run.result.rank_values.append(object())
         return run
 

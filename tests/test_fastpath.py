@@ -1,0 +1,376 @@
+"""Fast-path engine tests: eligibility, flow timeline, and byte-identity.
+
+The engine's contract is *exactness*, not approximation: a fast-path run
+must be byte-identical to the full DES — same ``JobResult`` payload, same
+Prometheus export (minus the event-count family, which legitimately drops),
+same campaign rows — while processing strictly fewer kernel events.  The
+equivalence matrix here sweeps every workload x system x network preset;
+the unit tests pin the waker-chain ordering protocol and the event-loop
+fixes (untriggered-source trigger guard, explicit triggered state) that
+the exactness argument rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_spec, run_workload
+from repro.campaign.serialize import run_to_payload, summarize_payload
+from repro.campaign.spec import RunSpec, build_cluster
+from repro.errors import SimulationError
+from repro.fastpath import (
+    FlowTimeline,
+    batch_wire_seconds,
+    decide_cluster,
+    decide_spec,
+    endpoints_disjoint,
+    install,
+)
+from repro.sim import Environment, Event, Timeout
+from repro.telemetry import Telemetry, to_prometheus_text
+
+WORKLOADS = (
+    "alexnet", "bt", "cg", "cloverleaf", "ep", "ft", "googlenet", "hpl",
+    "is", "jacobi", "lu", "mg", "sp", "tealeaf2d", "tealeaf3d",
+)
+SYSTEMS = ("tx1", "gtx980", "thunderx")
+NETWORKS = ("1G", "10G")
+
+
+def _payload(name, *, system, network, nodes, fast_path):
+    spec = RunSpec.normalize(name, nodes=nodes, network=network, system=system)
+    return run_to_payload(
+        run_spec(spec, use_cache=False, fast_path=fast_path)
+    )
+
+
+# -- eligibility ---------------------------------------------------------------
+
+
+def test_stock_presets_are_eligible():
+    for system in SYSTEMS:
+        spec = RunSpec.normalize("jacobi", nodes=4, network="10G", system=system)
+        decision = decide_spec(spec)
+        assert decision.eligible, (system, decision.reasons)
+        assert decision.switch_headroom >= 1.0
+
+
+def test_attachments_defeat_eligibility():
+    cluster = build_cluster(RunSpec.normalize("jacobi", nodes=4))
+    assert decide_cluster(cluster).eligible
+    assert not decide_cluster(cluster, injector=object()).eligible
+    assert not decide_cluster(cluster, retry=object()).eligible
+    # A fabric-attached injector is caught too.
+    cluster.fabric.set_fault_injector(object())
+    decision = decide_cluster(cluster)
+    assert not decision.eligible
+    assert any("fault injector" in r for r in decision.reasons)
+
+
+def test_bisection_bound_switch_is_ineligible():
+    from dataclasses import replace
+
+    cluster = build_cluster(RunSpec.normalize("jacobi", nodes=4))
+    cluster.fabric.switch = replace(
+        cluster.fabric.switch, bisection_bandwidth=1.0
+    )
+    decision = decide_cluster(cluster)
+    assert not decision.eligible
+    assert decision.switch_headroom < 1.0
+
+
+def test_install_leaves_ineligible_runs_untouched():
+    cluster = build_cluster(RunSpec.normalize("jacobi", nodes=4))
+    decision = install(cluster, injector=object())
+    assert not decision.eligible
+    assert not cluster.env.fast_mode
+    assert cluster.fabric._fastpath is None
+    decision = install(cluster)
+    assert decision.eligible
+    assert cluster.env.fast_mode
+    assert cluster.fabric._fastpath is not None
+
+
+# -- the analytical flow timeline ---------------------------------------------
+
+
+def test_uncontended_quiescent_reserve_needs_no_wake():
+    env = Environment()
+    tl = FlowTimeline(env, 4)
+    flow = tl.reserve(0, 1, 0.0, 2.5)
+    assert flow.wake is None
+    assert flow.grant == 0.0
+    assert flow.end == 2.5
+    assert tl.active_at(0.0) == 1
+    assert tl.busy_until(0) == (2.5, 0.0)
+    tl.complete(flow)
+    # A later flow on the same endpoints starts after the first frees it.
+    later = tl.reserve(0, 1, 3.0, 1.0)
+    assert later.wake is None
+    assert later.grant == 3.0
+    assert tl.transfers == 2
+
+
+def test_contended_reserve_parks_until_blocker_completes():
+    env = Environment()
+    tl = FlowTimeline(env, 4)
+    order = []
+
+    def first():
+        flow = tl.reserve(0, 1, env.now, 2.0)
+        # The second process's init event shares this instant, so the
+        # reserve is uncontended but not quiescent: a relay wake keeps
+        # the resumption position aligned with the DES grant cascade.
+        assert flow.wake is not None
+        assert flow.grant == 0.0
+        yield flow.wake
+        yield env.timeout_at(flow.end)
+        tl.complete(flow)
+        order.append(("first-done", env.now))
+
+    def second():
+        yield env.timeout(1.0)
+        flow = tl.reserve(0, 1, env.now, 2.0)
+        # Endpoint 0/1 are held by the first flow until t=2: the reserve
+        # must queue FIFO behind it and park on a wake event.
+        assert flow.wake is not None
+        assert flow.grant == 2.0
+        yield flow.wake
+        order.append(("second-granted", env.now))
+        yield env.timeout_at(flow.end)
+        tl.complete(flow)
+        order.append(("second-done", env.now))
+
+    env.process(first())
+    env.process(second())
+    env.run()
+    assert order == [
+        ("first-done", 2.0), ("second-granted", 2.0), ("second-done", 4.0),
+    ]
+
+
+def test_same_instant_back_to_back_sends_do_not_block():
+    env = Environment()
+    tl = FlowTimeline(env, 4)
+
+    def sender():
+        flow = tl.reserve(0, 1, env.now, 1.0)
+        yield env.timeout_at(flow.end)
+        tl.complete(flow)
+        # Immediately reserve again at the completion instant: the slot
+        # was freed (owner committed), so this must not park.
+        again = tl.reserve(0, 1, env.now, 1.0)
+        assert again.grant == env.now
+        yield env.timeout_at(again.end)
+        tl.complete(again)
+
+    env.process(sender())
+    env.run()
+    assert env.now == 2.0
+    assert tl.transfers == 2
+
+
+def test_endpoints_disjoint_and_batch_wire_seconds():
+    import numpy as np
+
+    assert endpoints_disjoint([0, 1], [2, 3], 4)
+    # tx and rx are separate NIC resources: appearing once as source and
+    # once as destination is still contention-free (a ring shift).
+    assert endpoints_disjoint([0, 1], [1, 2], 4)
+    assert not endpoints_disjoint([0, 0], [1, 2], 4)
+    assert not endpoints_disjoint([0, 1], [2, 2], 4)
+    wire = batch_wire_seconds(
+        np.array([0.0, 1e6]), np.array([1e6, 1e6]), 5e-6
+    )
+    assert wire[0] == 5e-6          # latency-only for empty payloads
+    assert wire[1] == 5e-6 + 1.0
+
+
+# -- event-loop fixes (satellites) --------------------------------------------
+
+
+def test_trigger_from_untriggered_source_raises_naming_both():
+    env = Environment()
+    target = Event(env)
+    source = Event(env)
+    with pytest.raises(SimulationError) as err:
+        target.trigger(source)
+    message = str(err.value)
+    assert "untriggered source" in message
+    assert repr(target) in message and repr(source) in message
+    # The target is untouched and still usable afterwards.
+    assert not target.triggered
+    target.succeed("ok")
+    assert target.value == "ok"
+
+
+def test_trigger_from_triggered_source_copies_state():
+    env = Environment()
+    source = Event(env).succeed(None)
+    target = Event(env)
+    target.trigger(source)
+    # A None value must propagate as a real value, not as "pending":
+    # the state machine is explicit, never inferred from the payload.
+    assert target.triggered
+    assert target.value is None
+
+
+def test_triggered_state_is_explicit_for_none_values():
+    env = Environment()
+    ev = Event(env)
+    assert not ev.triggered
+    ev.succeed(None)
+    assert ev.triggered
+    with pytest.raises(SimulationError):
+        ev.succeed(None)
+    assert Timeout(env, 0.0, None).triggered
+
+
+# -- loopback accounting (satellite) ------------------------------------------
+
+
+def test_loopback_traffic_is_accounted_separately():
+    telemetry = Telemetry(sample_interval=0.0)
+    run = run_workload(
+        "cg", nodes=2, use_cache=False, telemetry=telemetry
+    )
+    result = run.result
+    assert result.loopback_bytes > 0
+    registry = telemetry.registry
+    wire = registry.counter("fabric_bytes_total", unit="bytes").value()
+    loop = registry.counter("fabric_loopback_bytes_total", unit="bytes").value()
+    # The wire-only invariant: fabric_bytes_total mirrors network_bytes
+    # exactly, and loopback traffic lives under its own instrument.
+    assert wire == result.network_bytes
+    assert loop == result.loopback_bytes
+    assert registry.counter("fabric_loopback_transfers_total").value() > 0
+
+
+# -- byte-identity: the equivalence matrix ------------------------------------
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_payload_identity_across_all_presets(workload):
+    """Every valid system x network preset: fast == DES, byte for byte."""
+    checked = 0
+    for system in SYSTEMS:
+        for network in NETWORKS:
+            try:
+                slow = _payload(workload, system=system, network=network,
+                                nodes=2, fast_path=False)
+            except Exception:
+                continue  # invalid combo (e.g. GPGPU code on thunderx)
+            fast = _payload(workload, system=system, network=network,
+                            nodes=2, fast_path=True)
+            assert fast == slow, (workload, system, network)
+            checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("workload", ("cg", "ft", "is"))
+def test_payload_identity_under_heavy_contention(workload):
+    """nodes=4 runs where most reserves queue: the waker chain must keep
+    same-instant resumption order identical to the DES grant cascade."""
+    slow = _payload(workload, system="tx1", network="10G",
+                    nodes=4, fast_path=False)
+    fast = _payload(workload, system="tx1", network="10G",
+                    nodes=4, fast_path=True)
+    assert fast == slow
+
+
+def _prometheus_lines(name, fast_path):
+    telemetry = Telemetry(sample_interval=0.0)
+    run_workload(name, nodes=2, use_cache=False, telemetry=telemetry,
+                 fast_path=fast_path)
+    text = to_prometheus_text(telemetry.registry)
+    kept = [l for l in text.splitlines()
+            if "sim_events_processed_total" not in l]
+    return kept, text
+
+
+@pytest.mark.parametrize("workload", ("jacobi", "cg"))
+def test_telemetry_export_identity(workload):
+    slow, slow_full = _prometheus_lines(workload, fast_path=False)
+    fast, fast_full = _prometheus_lines(workload, fast_path=True)
+    assert fast == slow
+    # The exempt family is exempt for a reason: the fast path must have
+    # actually skipped events, or it silently fell back to the DES.
+    assert fast_full != slow_full
+
+
+def test_campaign_rows_identical_and_eligibility_recorded(monkeypatch):
+    from repro.campaign.runner import (
+        format_campaign_stats,
+        run_campaign,
+    )
+
+    specs = [RunSpec.normalize("jacobi", nodes=2, network="10G")]
+    rows = {}
+    for flag in ("0", "1"):
+        monkeypatch.setenv("REPRO_FAST_PATH", flag)
+        rows[flag] = run_campaign(specs, jobs=1, store=None)
+    slow_row, fast_row = rows["0"].rows[0], rows["1"].rows[0]
+    assert slow_row == fast_row
+    assert fast_row.fast_path_eligible
+    stats = format_campaign_stats(rows["1"])
+    assert "fastpath: 1 of 1 specs eligible" in stats
+    gauge = rows["1"].registry.gauge("campaign_fastpath_eligible_specs")
+    assert gauge.value() == 1.0
+
+
+def test_fast_path_processes_strictly_fewer_events():
+    from repro.hostprof.bench import profile_workload
+
+    slow = profile_workload("jacobi", nodes=2)
+    fast = profile_workload("jacobi", nodes=2, fast_path=True)
+    assert fast.profiler.counters["events"] < slow.profiler.counters["events"]
+    assert fast.profiler.counters["fastpath_transfers"] > 0
+    assert fast.profiler.counters["fastpath_grants"] > 0
+    assert slow.profiler.counters["fastpath_transfers"] == 0
+    assert fast.sim_seconds == slow.sim_seconds
+
+
+# -- BENCH_HOST schema 2 -------------------------------------------------------
+
+
+def test_compare_host_baseline_gates_fast_counts():
+    from repro.hostprof.bench import compare_host_baseline
+
+    baseline = {
+        "counts": {"jacobi": {"events": 100}},
+        "fast_counts": {"jacobi": {"events": 60, "fastpath_transfers": 8}},
+    }
+    same = compare_host_baseline(baseline, baseline)
+    assert same == []
+    drifted = {
+        "counts": {"jacobi": {"events": 100}},
+        "fast_counts": {"jacobi": {"events": 60, "fastpath_transfers": 0}},
+    }
+    drifts = compare_host_baseline(baseline, drifted)
+    assert drifts == ["fast.jacobi.fastpath_transfers: 8 -> 0"]
+
+
+def test_host_baseline_document_has_fast_sections():
+    from repro.hostprof.bench import HOST_SCHEMA, collect_host_baseline
+
+    document, runs = collect_host_baseline(workloads=("jacobi",), nodes=2)
+    assert document["schema"] == HOST_SCHEMA == 2
+    assert set(document["fast_counts"]) == {"jacobi"}
+    fast = document["fast_counts"]["jacobi"]
+    slow = document["counts"]["jacobi"]
+    assert fast["fastpath_transfers"] > 0
+    assert fast["events"] < slow["events"]
+    advisory = document["advisory"]["jacobi"]
+    for field in ("fast_wall_seconds", "fast_sim_seconds_per_wall_second",
+                  "fast_events_per_wall_second", "fast_speedup"):
+        assert field in advisory
+    assert [run.fast_path for run in runs] == [False, True]
+
+
+def test_summarize_payload_round_trips_loopback():
+    spec = RunSpec.normalize("cg", nodes=2)
+    run = run_spec(spec, use_cache=False, fast_path=True)
+    payload = run_to_payload(run)
+    summary = summarize_payload(payload)
+    assert summary["network_bytes"] == run.result.network_bytes
+    assert payload["result"]["loopback_bytes"] == run.result.loopback_bytes
